@@ -1,0 +1,225 @@
+// Benchmarks: one per Table-1 row of the paper (E1..E13, matching the
+// experiment index in DESIGN.md). Each benchmark executes complete
+// elections (or complete adversary games) per iteration and reports the
+// paper's complexity measures as custom metrics: msgs/op, rounds/op for
+// synchronous rows, timeunits/op for asynchronous rows.
+//
+//	go test -bench=. -benchmem
+package cliquelect_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cliquelect/internal/core"
+	"cliquelect/internal/ids"
+	"cliquelect/internal/lowerbound"
+	"cliquelect/internal/simasync"
+	"cliquelect/internal/simsync"
+	"cliquelect/internal/xrand"
+)
+
+// benchSync runs complete synchronous elections per iteration.
+func benchSync(b *testing.B, n int, factory simsync.Factory,
+	mkIDs func(*xrand.RNG) ids.Assignment, wake simsync.WakePolicy) {
+	b.Helper()
+	rng := xrand.New(uint64(n))
+	var msgs, rounds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simsync.Run(simsync.Config{
+			N: n, IDs: mkIDs(rng), Seed: rng.Uint64(), Wake: wake,
+		}, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+		rounds += float64(res.Rounds)
+	}
+	b.ReportMetric(msgs/float64(b.N), "msgs/op")
+	b.ReportMetric(rounds/float64(b.N), "rounds/op")
+}
+
+// benchAsync runs complete asynchronous elections per iteration.
+func benchAsync(b *testing.B, n int, factory simasync.Factory, wake simasync.WakeSchedule) {
+	b.Helper()
+	rng := xrand.New(uint64(n))
+	var msgs, units float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign := ids.Random(ids.LogUniverse(n), n, rng)
+		res, err := simasync.Run(simasync.Config{
+			N: n, IDs: assign, Seed: rng.Uint64(), Wake: wake,
+		}, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+		units += float64(res.TimeUnits)
+	}
+	b.ReportMetric(msgs/float64(b.N), "msgs/op")
+	b.ReportMetric(units/float64(b.N), "timeunits/op")
+}
+
+func logIDs(n int) func(*xrand.RNG) ids.Assignment {
+	return func(rng *xrand.RNG) ids.Assignment {
+		return ids.Random(ids.LogUniverse(n), n, rng)
+	}
+}
+
+// BenchmarkE01ComponentGame plays the Theorem 3.8 / Lemma 3.9 adversary
+// against the Theorem 3.10 algorithm.
+func BenchmarkE01ComponentGame(b *testing.B) {
+	var stalled float64
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.ComponentGame(256, 8, core.NewTradeoff(4), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stalled += float64(res.StalledRounds())
+	}
+	b.ReportMetric(stalled/float64(b.N), "stalledrounds/op")
+}
+
+// BenchmarkE02SingleSend runs the Lemma 3.12 transform of the Theorem 3.10
+// algorithm (the Theorem 3.11 census substrate).
+func BenchmarkE02SingleSend(b *testing.B) {
+	const n = 64
+	rng := xrand.New(2)
+	var msgs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simsync.Run(simsync.Config{
+			N: n, IDs: ids.Random(ids.LogUniverse(n), n, rng),
+			Seed: rng.Uint64(), MaxRounds: 16 * n,
+		}, lowerbound.NewSingleSend(core.NewTradeoff(3)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+	}
+	b.ReportMetric(msgs/float64(b.N), "msgs/op")
+}
+
+// BenchmarkE03Tradeoff benchmarks Theorem 3.10 per round budget l.
+func BenchmarkE03Tradeoff(b *testing.B) {
+	for _, l := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("l=%d/n=1024", l), func(b *testing.B) {
+			benchSync(b, 1024, core.NewTradeoff((l+3)/2), logIDs(1024), nil)
+		})
+	}
+}
+
+// BenchmarkE04SmallID benchmarks Algorithm 1 (Theorem 3.15).
+func BenchmarkE04SmallID(b *testing.B) {
+	const n = 1024
+	for _, d := range []int{2, 32} {
+		b.Run(fmt.Sprintf("d=%d/n=%d", d, n), func(b *testing.B) {
+			benchSync(b, n, core.NewSmallID(d, 1), func(rng *xrand.RNG) ids.Assignment {
+				return ids.Random(ids.LinearUniverse(n, 1), n, rng)
+			}, nil)
+		})
+	}
+}
+
+// BenchmarkE05LasVegasChecker runs the Theorem 3.16 audit.
+func BenchmarkE05LasVegasChecker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.CheckLasVegas(64, 20, lowerbound.NewCheatingLasVegas(), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE06LasVegas benchmarks the Theorem 3.16 algorithm.
+func BenchmarkE06LasVegas(b *testing.B) {
+	benchSync(b, 1024, core.NewLasVegas(), logIDs(1024), nil)
+}
+
+// BenchmarkE07Sublinear benchmarks the [16] Monte Carlo baseline.
+func BenchmarkE07Sublinear(b *testing.B) {
+	benchSync(b, 4096, core.NewSublinear(), logIDs(4096), nil)
+}
+
+// BenchmarkE08AdvWake benchmarks Theorem 4.1 under a single adversarial
+// wake-up.
+func BenchmarkE08AdvWake(b *testing.B) {
+	benchSync(b, 1024, core.NewAdvWake2Round(1.0/16), logIDs(1024),
+		simsync.AdversarialSet{Nodes: []int{0}})
+}
+
+// BenchmarkE09WakeupGame runs the Theorem 4.2 sweep at one reliable point.
+func BenchmarkE09WakeupGame(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.WakeupGame(256, 5, []float64{2}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10AsyncTradeoff benchmarks Algorithm 2 (Theorem 5.1) per k.
+func BenchmarkE10AsyncTradeoff(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d/n=1024", k), func(b *testing.B) {
+			benchAsync(b, 1024, core.NewAsyncTradeoff(k), simasync.SubsetAtZero([]int{0}))
+		})
+	}
+}
+
+// BenchmarkE11AsyncLinear benchmarks the substituted near-linear baseline.
+func BenchmarkE11AsyncLinear(b *testing.B) {
+	benchAsync(b, 1024, core.NewAsyncLinear(1024), simasync.SubsetAtZero([]int{0}))
+}
+
+// BenchmarkE12AsyncAfekGafni benchmarks the Theorem 5.14 deterministic
+// algorithm under simultaneous wake-up.
+func BenchmarkE12AsyncAfekGafni(b *testing.B) {
+	benchAsync(b, 1024, core.NewAsyncAfekGafni(), simasync.AllAtZero(1024))
+}
+
+// BenchmarkE13AfekGafni benchmarks the Afek-Gafni [1] baseline per k.
+func BenchmarkE13AfekGafni(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d/n=1024", k), func(b *testing.B) {
+			benchSync(b, 1024, core.NewAfekGafni(k), logIDs(1024), nil)
+		})
+	}
+}
+
+// BenchmarkEngineSyncBroadcast measures raw engine throughput with an
+// n(n-1)-message broadcast (the engines' worst case per round).
+func BenchmarkEngineSyncBroadcast(b *testing.B) {
+	const n = 512
+	benchSync(b, n, core.NewAfekGafni(1), logIDs(n), nil)
+}
+
+// BenchmarkAblationArrivalWiring quantifies the DESIGN.md ablation: the
+// component game with and without adversarial arrival-port wiring (Lemma
+// 3.3's both-endpoints control). Compare stalledrounds/op.
+func BenchmarkAblationArrivalWiring(b *testing.B) {
+	run := func(b *testing.B, opts ...lowerbound.GameOption) {
+		var stalled float64
+		for i := 0; i < b.N; i++ {
+			res, err := lowerbound.ComponentGame(256, 3, core.NewTradeoff(4), uint64(i), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stalled += float64(res.StalledRounds())
+		}
+		b.ReportMetric(stalled/float64(b.N), "stalledrounds/op")
+	}
+	b.Run("lowport", func(b *testing.B) { run(b) })
+	b.Run("uniform", func(b *testing.B) { run(b, lowerbound.WithUniformArrivals()) })
+}
+
+// BenchmarkExplicitOverhead measures the +1 round / +n messages cost of the
+// explicit-election wrapper (Section 2 / Section 3.5 transformation).
+func BenchmarkExplicitOverhead(b *testing.B) {
+	const n = 1024
+	b.Run("implicit", func(b *testing.B) {
+		benchSync(b, n, core.NewTradeoff(3), logIDs(n), nil)
+	})
+	b.Run("explicit", func(b *testing.B) {
+		benchSync(b, n, core.NewExplicit(core.NewTradeoff(3)), logIDs(n), nil)
+	})
+}

@@ -1,0 +1,70 @@
+// Command elect runs one leader-election protocol on one simulated clique
+// and prints the outcome.
+//
+// Usage:
+//
+//	elect -algo tradeoff -n 1024 -k 4
+//	elect -algo advwake -n 4096 -wake 16 -eps 0.0625
+//	elect -algo asynctradeoff -n 2048 -k 3 -wake 1 -policy skew
+//	elect -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cliquelect/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("elect", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "tradeoff", "algorithm name (see -list)")
+		n        = fs.Int("n", 1024, "number of nodes")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		k        = fs.Int("k", 3, "tradeoff parameter k")
+		d        = fs.Int("d", 2, "smallid window parameter d")
+		g        = fs.Int("g", 1, "smallid universe slack g")
+		eps      = fs.Float64("eps", 1.0/16, "advwake failure budget epsilon")
+		wake     = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
+		policy   = fs.String("policy", "unit", "async delay policy: unit, uniform, skew")
+		explicit = fs.Bool("explicit", false, "explicit election: all nodes output the leader ID (sync only)")
+		list     = fs.Bool("list", false, "list algorithms and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, s := range cli.Algorithms() {
+			fmt.Printf("%-15s %-6s %-30s %s\n", s.Name, s.Model, s.Paper, s.Description)
+		}
+		return nil
+	}
+	spec, err := cli.Lookup(*algo)
+	if err != nil {
+		return err
+	}
+	sum, err := cli.Run(spec, cli.RunOpts{
+		N: *n, Seed: *seed,
+		Params:    cli.Params{K: *k, D: *d, G: *g, Eps: *eps},
+		WakeCount: *wake,
+		Policy:    *policy,
+		Explicit:  *explicit && spec.Model == cli.Sync,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum)
+	if !sum.OK {
+		return fmt.Errorf("run did not elect a unique leader (randomized algorithms may fail; try another -seed)")
+	}
+	return nil
+}

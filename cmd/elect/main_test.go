@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestElectDefaults(t *testing.T) {
+	if err := run([]string{"-n", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElectList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElectAsync(t *testing.T) {
+	if err := run([]string{"-algo", "asynctradeoff", "-n", "64", "-k", "2", "-wake", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElectSmallID(t *testing.T) {
+	if err := run([]string{"-algo", "smallid", "-n", "64", "-d", "4", "-g", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElectErrors(t *testing.T) {
+	if err := run([]string{"-algo", "bogus"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-algo", "tradeoff", "-k", "1", "-n", "8"}); err == nil {
+		t.Fatal("bad parameter accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestElectExplicit(t *testing.T) {
+	if err := run([]string{"-algo", "lasvegas", "-n", "64", "-explicit"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestExperimentsSubsetQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentsMarkdown(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E5", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentsUnknownID(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

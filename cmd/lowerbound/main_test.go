@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestComponentGameCmd(t *testing.T) {
+	if err := run([]string{"-game", "component", "-n", "64", "-f", "4", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeupGameCmd(t *testing.T) {
+	if err := run([]string{"-game", "wakeup", "-n", "64", "-trials", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLasVegasCmd(t *testing.T) {
+	if err := run([]string{"-game", "lasvegas", "-n", "32", "-trials", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-game", "lasvegas", "-n", "32", "-trials", "20", "-cheat"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownGame(t *testing.T) {
+	if err := run([]string{"-game", "bogus"}); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+}

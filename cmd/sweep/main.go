@@ -1,0 +1,117 @@
+// Command sweep measures one algorithm across network sizes and parameter
+// values, printing a table (or CSV) with mean messages, rounds/time, and a
+// fitted message-complexity exponent.
+//
+// Usage:
+//
+//	sweep -algo tradeoff -k 3,4,5 -ns 256,512,1024,2048
+//	sweep -algo asynctradeoff -k 2,3 -ns 256,1024 -wake 1 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cliquelect/internal/cli"
+	"cliquelect/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		algo   = fs.String("algo", "tradeoff", "algorithm name")
+		nsFlag = fs.String("ns", "256,512,1024,2048", "comma-separated network sizes")
+		kFlag  = fs.String("k", "3", "comma-separated k values (tradeoff-family algorithms)")
+		d      = fs.Int("d", 2, "smallid d")
+		g      = fs.Int("g", 1, "smallid g")
+		eps    = fs.Float64("eps", 1.0/16, "advwake epsilon")
+		seeds  = fs.Int("seeds", 10, "runs per configuration")
+		seed   = fs.Uint64("seed", 1, "master seed")
+		wake   = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
+		policy = fs.String("policy", "unit", "async delay policy")
+		csv    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := cli.Lookup(*algo)
+	if err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return err
+	}
+	ks, err := parseInts(*kFlag)
+	if err != nil {
+		return err
+	}
+
+	table := stats.NewTable("k", "n", "mean msgs", "std", "mean time", "success")
+	for _, k := range ks {
+		var xs, ys []float64
+		for _, n := range ns {
+			var msgs []float64
+			var timeSum float64
+			succ := 0
+			for s := 0; s < *seeds; s++ {
+				sum, err := cli.Run(spec, cli.RunOpts{
+					N: n, Seed: *seed + uint64(s*7919+k*104729+n),
+					Params:    cli.Params{K: k, D: *d, G: *g, Eps: *eps},
+					WakeCount: *wake, Policy: *policy,
+				})
+				if err != nil {
+					return err
+				}
+				msgs = append(msgs, float64(sum.Messages))
+				if spec.Model == cli.Sync {
+					timeSum += float64(sum.Rounds)
+				} else {
+					timeSum += sum.TimeUnits
+				}
+				if sum.OK {
+					succ++
+				}
+			}
+			sm := stats.Summarize(msgs)
+			xs = append(xs, float64(n))
+			ys = append(ys, sm.Mean)
+			table.AddRow(k, n, sm.Mean, sm.Std, timeSum/float64(*seeds),
+				fmt.Sprintf("%d/%d", succ, *seeds))
+		}
+		if len(ns) >= 2 {
+			if fit, err := stats.FitPower(xs, ys); err == nil {
+				fmt.Printf("# k=%d: %s\n", k, fit)
+			}
+		}
+	}
+	if *csv {
+		fmt.Print(table.CSV())
+	} else {
+		fmt.Print(table.String())
+	}
+	return nil
+}

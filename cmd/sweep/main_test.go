@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestSweepTradeoff(t *testing.T) {
+	if err := run([]string{"-algo", "tradeoff", "-k", "3,4", "-ns", "32,64", "-seeds", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepAsyncCSV(t *testing.T) {
+	if err := run([]string{"-algo", "asynctradeoff", "-k", "2", "-ns", "32,64",
+		"-seeds", "2", "-wake", "1", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if err := run([]string{"-algo", "bogus"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-ns", "12,abc"}); err == nil {
+		t.Fatal("bad ns accepted")
+	}
+	if err := run([]string{"-k", "x"}); err == nil {
+		t.Fatal("bad k accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package cliquelect is a reproduction of "Improved Tradeoffs for Leader
+// Election" (Shay Kutten, Peter Robinson, Ming Ming Tan, Xianbin Zhu;
+// PODC 2023, arXiv:2301.08235): every algorithm, baseline and lower-bound
+// construction of the paper, implemented on simulated synchronous and
+// asynchronous cliques under the KT0 clean-network model.
+//
+// The library lives under internal/ (this module is a research artifact, not
+// a dependency target); the entry points are:
+//
+//   - internal/core — the eleven protocols (Theorems 3.10, 3.15, 3.16, 4.1,
+//     5.1, 5.14 plus the [1], [14], [16] baselines).
+//   - internal/simsync, internal/simasync — deterministic clique engines.
+//   - internal/livenet — goroutine-per-node concurrent runtime.
+//   - internal/lowerbound — executable adversaries for Theorems 3.8, 3.11,
+//     3.16 and 4.2.
+//   - internal/experiments — the Table-1 reproduction harness (E1..E13).
+//   - cmd/elect, cmd/sweep, cmd/experiments, cmd/lowerbound — CLIs.
+//   - examples/ — runnable scenarios.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package cliquelect

@@ -1,0 +1,63 @@
+// Asynccluster: run Algorithm 2 (Theorem 5.1) on an asynchronous clique
+// under adversarial wake-up and sweep the tradeoff parameter k, printing
+// the paper's headline message/time tradeoff curve.
+//
+// The scenario mirrors the paper's motivation: a cluster where one machine
+// spontaneously starts a coordination task and must elect a coordinator
+// among n peers whose links have arbitrary (bounded) delays.
+//
+//	go run ./examples/asynccluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cliquelect/internal/core"
+	"cliquelect/internal/ids"
+	"cliquelect/internal/simasync"
+	"cliquelect/internal/stats"
+	"cliquelect/internal/xrand"
+)
+
+func main() {
+	const (
+		n     = 2048
+		seeds = 5
+	)
+	kMax := core.AsyncLinearK(n)
+
+	fmt.Printf("asynchronous clique, n = %d, single adversarial wake-up, uniform delays\n", n)
+	fmt.Printf("Theorem 5.1: k+8 time units and O(n^{1+1/k}) messages, k in [2, %d]\n\n", kMax)
+
+	table := stats.NewTable("k", "bound k+8", "mean time", "mean msgs", "msgs/n")
+	for k := 2; k <= kMax; k++ {
+		var msgs, timeUnits float64
+		rng := xrand.New(uint64(k))
+		for s := 0; s < seeds; s++ {
+			assign := ids.Random(ids.LogUniverse(n), n, rng)
+			res, err := simasync.Run(simasync.Config{
+				N:      n,
+				IDs:    assign,
+				Seed:   rng.Uint64(),
+				Delays: simasync.UniformDelay{Lo: 0.25},
+				Wake:   simasync.SubsetAtZero([]int{0}),
+			}, core.NewAsyncTradeoff(k))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := res.Validate(); err != nil {
+				log.Fatalf("k=%d: %v", k, err)
+			}
+			msgs += float64(res.Messages)
+			timeUnits += res.TimeUnits
+		}
+		msgs /= seeds
+		timeUnits /= seeds
+		table.AddRow(k, k+8, timeUnits, msgs, msgs/float64(n))
+	}
+	fmt.Print(table.String())
+	fmt.Println("\nreading the curve: k=2 spends ~n^{3/2} messages in ~10 time units (matching")
+	fmt.Println("the Theorem 4.2 floor for 2 time units), while k =", kMax, "reaches the near-linear")
+	fmt.Println("corner — the first message/time tradeoff in the asynchronous clique.")
+}

@@ -1,0 +1,91 @@
+// Budget: the paper's introduction motivates message/time tradeoffs with
+// resource-constrained networks (messages and time both cost energy). This
+// example is a planner: given a message budget per election, pick the
+// fastest algorithm/parameter combination that honors it, then demonstrate
+// the choice on a simulated clique.
+//
+//	go run ./examples/budget -n 4096 -budget 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"cliquelect/internal/cli"
+	"cliquelect/internal/stats"
+)
+
+// plan is one candidate configuration with its predicted cost.
+type plan struct {
+	algo      string
+	params    cli.Params
+	rounds    float64 // predicted time (rounds or time units)
+	predicted float64 // predicted messages
+}
+
+func main() {
+	n := flag.Int("n", 4096, "clique size")
+	budget := flag.Float64("budget", 100000, "message budget per election")
+	flag.Parse()
+
+	fn := float64(*n)
+	var plans []plan
+	// Deterministic tradeoff (Theorem 3.10): k >= 3.
+	for k := 3; k <= 8; k++ {
+		plans = append(plans, plan{
+			algo: "tradeoff", params: cli.Params{K: k},
+			rounds:    float64(2*k - 3),
+			predicted: 2.5 * float64(k) * math.Pow(fn, 1+1/float64(k-1)),
+		})
+	}
+	// Las Vegas (Theorem 3.16): 3 rounds, ~4n messages.
+	plans = append(plans, plan{
+		algo: "lasvegas", params: cli.Params{},
+		rounds: 3, predicted: 4 * fn,
+	})
+	// Monte Carlo [16]: 2 rounds, ~2·sqrt(n)·ln^{1.5} n messages.
+	plans = append(plans, plan{
+		algo: "sublinear", params: cli.Params{},
+		rounds: 2, predicted: 2 * math.Sqrt(fn) * math.Pow(math.Log(fn), 1.5),
+	})
+
+	fmt.Printf("election planner: n = %d, budget = %.0f messages\n\n", *n, *budget)
+	table := stats.NewTable("algorithm", "params", "time", "predicted msgs", "fits budget")
+	var best *plan
+	for i := range plans {
+		p := &plans[i]
+		fits := p.predicted <= *budget
+		table.AddRow(p.algo, fmt.Sprintf("k=%d", p.params.K), p.rounds, p.predicted, fits)
+		if fits && (best == nil || p.rounds < best.rounds ||
+			(p.rounds == best.rounds && p.predicted < best.predicted)) {
+			best = p
+		}
+	}
+	fmt.Print(table.String())
+	if best == nil {
+		log.Fatalf("no algorithm fits a budget of %.0f messages at n=%d; "+
+			"the Theorem 3.8 tradeoff says you must pay more time or more messages", *budget, *n)
+	}
+	fmt.Printf("\nchosen: %s (k=%d) — now validating on a simulated clique\n\n", best.algo, best.params.K)
+
+	spec, err := cli.Lookup(best.algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := best.params
+	if params.K == 0 {
+		params = cli.DefaultParams()
+	}
+	sum, err := cli.Run(spec, cli.RunOpts{N: *n, Seed: 11, Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sum)
+	if float64(sum.Messages) > *budget {
+		fmt.Printf("NOTE: measured %d messages exceeded the budget — predictions are asymptotic\n", sum.Messages)
+	} else {
+		fmt.Printf("budget honored: %d <= %.0f\n", sum.Messages, *budget)
+	}
+}

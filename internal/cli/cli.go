@@ -1,0 +1,328 @@
+// Package cli provides the algorithm registry and run helpers shared by the
+// command-line tools (cmd/elect, cmd/sweep, cmd/experiments,
+// cmd/lowerbound) and the examples.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cliquelect/internal/core"
+	"cliquelect/internal/ids"
+	"cliquelect/internal/simasync"
+	"cliquelect/internal/simsync"
+	"cliquelect/internal/xrand"
+)
+
+// Model distinguishes the two network timing models.
+type Model int
+
+// Models.
+const (
+	Sync Model = iota + 1
+	Async
+)
+
+func (m Model) String() string {
+	if m == Async {
+		return "async"
+	}
+	return "sync"
+}
+
+// Params carries every tunable any algorithm accepts; unused fields are
+// ignored by algorithms that do not take them.
+type Params struct {
+	K   int     // tradeoff parameter (Tradeoff, AfekGafni, SpreadElect, AsyncTradeoff)
+	D   int     // SmallID window parameter
+	G   int     // SmallID universe slack g(n)
+	Eps float64 // AdvWake2Round failure budget
+}
+
+// DefaultParams returns sensible defaults: K=3, D=2, G=1, Eps=1/16.
+func DefaultParams() Params {
+	return Params{K: 3, D: 2, G: 1, Eps: 1.0 / 16}
+}
+
+// Spec describes one registered algorithm.
+type Spec struct {
+	Name        string
+	Model       Model
+	Paper       string // which paper result it implements
+	Description string
+	// SmallIDSpace marks algorithms that require the {1..n·g} universe.
+	SmallIDSpace bool
+	// Deterministic marks algorithms with no coin flips.
+	Deterministic bool
+	// BuildSync is set for synchronous algorithms.
+	BuildSync func(p Params) (simsync.Factory, error)
+	// BuildAsync is set for asynchronous algorithms; it receives n because
+	// some constructions (asynclinear) derive their parameter from it.
+	BuildAsync func(n int, p Params) (simasync.Factory, error)
+}
+
+// registry is ordered for stable --list output.
+var registry = []Spec{
+	{
+		Name: "tradeoff", Model: Sync, Paper: "Theorem 3.10", Deterministic: true,
+		Description: "improved deterministic tradeoff: 2k-3 rounds, O(k·n^{1+1/(k-1)}) msgs",
+		BuildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateTradeoffK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewTradeoff(p.K), nil
+		},
+	},
+	{
+		Name: "afekgafni", Model: Sync, Paper: "Afek-Gafni [1] baseline", Deterministic: true,
+		Description: "classic deterministic tradeoff: 2k rounds, O(k·n^{1+1/k}) msgs",
+		BuildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateAfekGafniK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewAfekGafni(p.K), nil
+		},
+	},
+	{
+		Name: "smallid", Model: Sync, Paper: "Theorem 3.15 / Algorithm 1", Deterministic: true,
+		SmallIDSpace: true,
+		Description:  "small-ID-universe scan: ceil(n/d) rounds, <= n·d·g msgs",
+		BuildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateSmallID(p.D, p.G); err != nil {
+				return nil, err
+			}
+			return core.NewSmallID(p.D, p.G), nil
+		},
+	},
+	{
+		Name: "lasvegas", Model: Sync, Paper: "Theorem 3.16",
+		Description: "Las Vegas: 3 rounds and O(n) msgs w.h.p., never wrong",
+		BuildSync: func(Params) (simsync.Factory, error) {
+			return core.NewLasVegas(), nil
+		},
+	},
+	{
+		Name: "sublinear", Model: Sync, Paper: "Kutten et al. [16] baseline",
+		Description: "Monte Carlo: 2 rounds, O(sqrt(n)·log^{3/2} n) msgs, fails with o(1) prob.",
+		BuildSync: func(Params) (simsync.Factory, error) {
+			return core.NewSublinear(), nil
+		},
+	},
+	{
+		Name: "advwake", Model: Sync, Paper: "Theorem 4.1",
+		Description: "adversarial wake-up: 2 rounds, O(n^{3/2}·log(1/eps)) msgs",
+		BuildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateEps(p.Eps); err != nil {
+				return nil, err
+			}
+			return core.NewAdvWake2Round(p.Eps), nil
+		},
+	},
+	{
+		Name: "spreadelect", Model: Sync, Paper: "substituted [14]-style baseline",
+		Description: "adversarial wake-up: k+5 rounds, O(n^{1+1/k}+n) msgs",
+		BuildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateSpreadK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewSpreadElect(p.K), nil
+		},
+	},
+	{
+		Name: "asynctradeoff", Model: Async, Paper: "Theorem 5.1 / Algorithm 2",
+		Description: "async tradeoff: k+8 time units, O(n^{1+1/k}) msgs",
+		BuildAsync: func(_ int, p Params) (simasync.Factory, error) {
+			if err := core.ValidateAsyncK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewAsyncTradeoff(p.K), nil
+		},
+	},
+	{
+		Name: "asyncafekgafni", Model: Async, Paper: "Theorem 5.14 / Section 5.4", Deterministic: true,
+		Description: "asynchronized Afek-Gafni: O(log n) time, O(n log n) msgs, simultaneous wake-up",
+		BuildAsync: func(int, Params) (simasync.Factory, error) {
+			return core.NewAsyncAfekGafni(), nil
+		},
+	},
+	{
+		Name: "asynclinear", Model: Async, Paper: "substituted [14]-style async baseline",
+		Description: "near-linear msgs at k=Theta(log n/log log n): O(n log n) msgs, O(log n) time",
+		BuildAsync: func(n int, _ Params) (simasync.Factory, error) {
+			return core.NewAsyncLinear(n), nil
+		},
+	},
+}
+
+// Algorithms returns the registered algorithm specs in registry order.
+func Algorithms() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds an algorithm by name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("cli: unknown algorithm %q (have: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Summary is the model-independent outcome of one run.
+type Summary struct {
+	Algorithm string
+	Model     Model
+	N         int
+	Leader    int // node index, -1 if not unique
+	LeaderID  int64
+	Messages  int64
+	Rounds    int     // sync only
+	TimeUnits float64 // async only
+	AllAwake  bool
+	OK        bool
+}
+
+// String renders a human-readable one-line-per-field summary.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm : %s (%s)\n", s.Algorithm, s.Model)
+	fmt.Fprintf(&b, "nodes     : %d\n", s.N)
+	if s.Leader >= 0 {
+		fmt.Fprintf(&b, "leader    : node %d (ID %d)\n", s.Leader, s.LeaderID)
+	} else {
+		fmt.Fprintf(&b, "leader    : NONE (failed run)\n")
+	}
+	fmt.Fprintf(&b, "messages  : %d\n", s.Messages)
+	if s.Model == Sync {
+		fmt.Fprintf(&b, "rounds    : %d\n", s.Rounds)
+	} else {
+		fmt.Fprintf(&b, "time      : %.2f units\n", s.TimeUnits)
+	}
+	fmt.Fprintf(&b, "all awake : %v\n", s.AllAwake)
+	fmt.Fprintf(&b, "valid     : %v\n", s.OK)
+	return b.String()
+}
+
+// RunOpts configures a single Run.
+type RunOpts struct {
+	N      int
+	Seed   uint64
+	Params Params
+	// WakeCount: 0 = simultaneous wake-up; otherwise the adversary wakes
+	// that many random nodes.
+	WakeCount int
+	// Policy names the async delay policy: unit (default), uniform, skew.
+	Policy string
+	// Explicit wraps synchronous algorithms in the explicit-election
+	// transformation (every node outputs the leader's ID; +1 round, +n-1
+	// messages).
+	Explicit bool
+}
+
+// MakeIDs builds the ID assignment an algorithm expects.
+func MakeIDs(spec Spec, n int, p Params, rng *xrand.RNG) ids.Assignment {
+	if spec.SmallIDSpace {
+		return ids.Random(ids.LinearUniverse(n, p.G), n, rng)
+	}
+	return ids.Random(ids.LogUniverse(n), n, rng)
+}
+
+// DelayPolicy resolves a policy name.
+func DelayPolicy(name string) (simasync.DelayPolicy, error) {
+	switch name {
+	case "", "unit":
+		return simasync.UnitDelay{}, nil
+	case "uniform":
+		return simasync.UniformDelay{Lo: 0.05}, nil
+	case "skew":
+		return simasync.SkewDelay{Fast: 0.05, Mod: 3}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown delay policy %q (unit, uniform, skew)", name)
+}
+
+// Run executes one algorithm under the given options.
+func Run(spec Spec, opts RunOpts) (Summary, error) {
+	sum := Summary{Algorithm: spec.Name, Model: spec.Model, N: opts.N, Leader: -1}
+	if opts.N < 1 {
+		return sum, fmt.Errorf("cli: n = %d", opts.N)
+	}
+	rng := xrand.New(opts.Seed)
+	assign := MakeIDs(spec, opts.N, opts.Params, rng)
+
+	switch spec.Model {
+	case Sync:
+		factory, err := spec.BuildSync(opts.Params)
+		if err != nil {
+			return sum, err
+		}
+		if opts.Explicit {
+			factory = core.NewExplicit(factory)
+		}
+		var wake simsync.WakePolicy = simsync.Simultaneous{}
+		if opts.WakeCount > 0 {
+			wake = simsync.RandomWakeSet(opts.N, min(opts.WakeCount, opts.N), rng)
+		}
+		res, err := simsync.Run(simsync.Config{
+			N: opts.N, IDs: assign, Seed: rng.Uint64(), Wake: wake,
+		}, factory)
+		if err != nil {
+			return sum, err
+		}
+		sum.Messages = res.Messages
+		sum.Rounds = res.Rounds
+		sum.AllAwake = res.AllAwake()
+		sum.Leader = res.UniqueLeader()
+		sum.OK = res.Validate() == nil
+	case Async:
+		factory, err := spec.BuildAsync(opts.N, opts.Params)
+		if err != nil {
+			return sum, err
+		}
+		policy, err := DelayPolicy(opts.Policy)
+		if err != nil {
+			return sum, err
+		}
+		wake := simasync.AllAtZero(opts.N)
+		if opts.WakeCount > 0 {
+			wake = simasync.SubsetAtZero(rng.Sample(opts.N, min(opts.WakeCount, opts.N)))
+		}
+		res, err := simasync.Run(simasync.Config{
+			N: opts.N, IDs: assign, Seed: rng.Uint64(), Delays: policy, Wake: wake,
+		}, factory)
+		if err != nil {
+			return sum, err
+		}
+		sum.Messages = res.Messages
+		sum.TimeUnits = res.TimeUnits
+		sum.AllAwake = res.AllAwake()
+		sum.Leader = res.UniqueLeader()
+		sum.OK = res.Validate() == nil
+	default:
+		return sum, fmt.Errorf("cli: spec %q has no model", spec.Name)
+	}
+	if sum.Leader >= 0 {
+		sum.LeaderID = int64(assign[sum.Leader])
+	}
+	return sum, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

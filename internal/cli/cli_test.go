@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupAllRegistered(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != name {
+			t.Fatalf("lookup %q returned %q", name, spec.Name)
+		}
+		if spec.Model == Sync && spec.BuildSync == nil {
+			t.Fatalf("%s: sync spec without builder", name)
+		}
+		if spec.Model == Async && spec.BuildAsync == nil {
+			t.Fatalf("%s: async spec without builder", name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Algorithms()) != 10 {
+		t.Fatalf("registry has %d entries", len(Algorithms()))
+	}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, spec := range Algorithms() {
+		opts := RunOpts{N: 64, Seed: 7, Params: DefaultParams()}
+		if spec.Name == "advwake" || spec.Name == "spreadelect" || spec.Name == "asynctradeoff" ||
+			spec.Name == "asynclinear" {
+			opts.WakeCount = 3 // adversarial wake-up models
+		}
+		sum, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !sum.OK {
+			// Randomized algorithms may fail occasionally; retry once with
+			// another seed before declaring a problem.
+			opts.Seed = 99
+			sum, err = Run(spec, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if !sum.OK {
+				t.Fatalf("%s failed twice: %+v", spec.Name, sum)
+			}
+		}
+		if sum.Messages < 0 || sum.Leader < 0 {
+			t.Fatalf("%s: bad summary %+v", spec.Name, sum)
+		}
+		if out := sum.String(); !strings.Contains(out, spec.Name) {
+			t.Fatalf("%s: summary rendering: %s", spec.Name, out)
+		}
+	}
+}
+
+func TestRunParamValidation(t *testing.T) {
+	spec, _ := Lookup("tradeoff")
+	if _, err := Run(spec, RunOpts{N: 16, Params: Params{K: 1}}); err == nil {
+		t.Fatal("bad K accepted")
+	}
+	if _, err := Run(spec, RunOpts{N: 0, Params: DefaultParams()}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	aspec, _ := Lookup("asynctradeoff")
+	if _, err := Run(aspec, RunOpts{N: 16, Params: DefaultParams(), Policy: "bogus"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestDelayPolicyNames(t *testing.T) {
+	for _, name := range []string{"", "unit", "uniform", "skew"} {
+		if _, err := DelayPolicy(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+}
+
+func TestDeterministicFlagging(t *testing.T) {
+	want := map[string]bool{
+		"tradeoff": true, "afekgafni": true, "smallid": true, "asyncafekgafni": true,
+		"lasvegas": false, "sublinear": false, "advwake": false,
+		"spreadelect": false, "asynctradeoff": false, "asynclinear": false,
+	}
+	for _, spec := range Algorithms() {
+		if spec.Deterministic != want[spec.Name] {
+			t.Errorf("%s: deterministic = %v", spec.Name, spec.Deterministic)
+		}
+	}
+}
+
+func TestRunExplicitMode(t *testing.T) {
+	spec, _ := Lookup("tradeoff")
+	plain, err := Run(spec, RunOpts{N: 64, Seed: 3, Params: DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Run(spec, RunOpts{N: 64, Seed: 3, Params: DefaultParams(), Explicit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !explicit.OK {
+		t.Fatal("explicit run failed")
+	}
+	if explicit.Rounds != plain.Rounds+1 || explicit.Messages != plain.Messages+63 {
+		t.Fatalf("explicit overhead wrong: %d/%d vs %d/%d",
+			explicit.Rounds, explicit.Messages, plain.Rounds, plain.Messages)
+	}
+}

@@ -1,0 +1,164 @@
+// Package core implements every leader-election protocol of the paper
+// "Improved Tradeoffs for Leader Election" (Kutten, Robinson, Tan, Zhu;
+// PODC 2023), plus the baselines its Table 1 compares against.
+//
+// Synchronous protocols implement simsync.Protocol and run on the
+// synchronous clique engine; asynchronous protocols implement
+// simasync.Protocol (and run unmodified on the goroutine-based livenet
+// runtime). Every protocol observes the KT0 clean-network model: it
+// addresses ports, never node identities, and initially knows only its own
+// ID and n.
+//
+// The protocols (constructor -> paper result):
+//
+//   - NewTradeoff(k): Theorem 3.10, the paper's improved deterministic
+//     tradeoff — 2k-3 rounds, O(k·n^{1+1/(k-1)}) messages.
+//   - NewAfekGafni(k): the Afek-Gafni [1] baseline — 2k rounds,
+//     O(k·n^{1+1/k}) messages.
+//   - NewSmallID(d, g): Algorithm 1 / Theorem 3.15 — ceil(n/d) rounds and
+//     <= n·d·g messages when IDs come from {1..n·g}.
+//   - NewSublinear(): Kutten et al. [16] baseline — 2 rounds,
+//     O(sqrt(n)·log^{3/2} n) messages, Monte Carlo.
+//   - NewLasVegas(): Theorem 3.16 — Las Vegas, 3 rounds and O(n) messages
+//     with high probability, never wrong.
+//   - NewAdvWake2Round(eps): Theorem 4.1 — 2 rounds under adversarial
+//     wake-up, O(n^{3/2}·log(1/eps)) messages, success >= 1-eps-1/n.
+//   - NewSpreadElect(k): substituted [14]-style baseline — k+O(1) rounds,
+//     O(n^{1+1/k} + n log n) messages under adversarial wake-up.
+//   - NewAsyncTradeoff(k): Theorem 5.1 / Algorithm 2 — asynchronous, k+8
+//     time units, O(n^{1+1/k}) messages.
+//   - NewAsyncAfekGafni(): Theorem 5.14 / Section 5.4 — asynchronous
+//     deterministic levels algorithm, O(log n) time from simultaneous
+//     wake-up, O(n log n) messages.
+//   - NewAsyncLinear(): substituted [14]-style asynchronous baseline:
+//     NewAsyncTradeoff at k = Theta(log n / log log n).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Message kinds, globally unique across protocols so traces stay readable.
+const (
+	// Shared by the survivor/referee family (Tradeoff, AfekGafni).
+	KindCompete  uint8 = 1 // survivor's ID bid to a referee
+	KindAck      uint8 = 2 // referee's response to its best bid
+	KindAnnounce uint8 = 3 // leader announcement carrying the leader ID
+
+	// SmallID.
+	KindIDClaim uint8 = 4 // Algorithm 1 window broadcast
+
+	// Randomized sync family (Sublinear, LasVegas, AdvWake2Round,
+	// SpreadElect).
+	KindWakeup uint8 = 5 // wake-up message under adversarial wake-up
+	KindRank   uint8 = 6 // candidate rank bid
+
+	// Asynchronous tradeoff (Algorithm 2).
+	KindCompeteAsync uint8 = 7  // <rank, compete>
+	KindYouWin       uint8 = 8  // referee verdict
+	KindYouLose      uint8 = 9  // referee verdict
+	KindConsult      uint8 = 10 // referee asks stored winner "already leader?"
+	KindConsultReply uint8 = 11 // A=1 already leader, A=0 dropped out
+
+	// Asynchronous Afek-Gafni (Section 5.4).
+	KindRequest      uint8 = 12 // <id, level>
+	KindLevelAck     uint8 = 13 // ack for a level-i request
+	KindCancel       uint8 = 14 // conditional cancel <challengerID, challengerLevel>
+	KindCancelGrant  uint8 = 15 // previous owner dropped out
+	KindCancelRefuse uint8 = 16 // previous owner is at a higher level
+	KindKill         uint8 = 17 // requester is rejected and stops competing
+)
+
+// RankSpace is the size of the rank domain used by randomized protocols:
+// ranks are sampled from [1, n^4], which makes all ranks distinct with
+// probability >= 1 - 1/n^2 (union bound, as in Theorem 4.1's proof). The
+// domain is capped at 2^62 to avoid int64 overflow for n >= 2^16; the
+// collision guarantee only improves.
+func RankSpace(n int) int64 {
+	const cap62 = int64(1) << 62
+	f := int64(n)
+	out := int64(1)
+	for i := 0; i < 4; i++ {
+		if out > cap62/f {
+			return cap62
+		}
+		out *= f
+	}
+	return out
+}
+
+// drawRank samples a rank uniformly from [1, n^4].
+func drawRank(n int, rng interface{ Int63() int64 }) int64 {
+	return rng.Int63()%RankSpace(n) + 1
+}
+
+// Fanout returns ceil(n^(num/den)) clamped to [1, n-1]: the referee-set
+// sizes used by the deterministic tradeoff algorithms. Computed in floating
+// point with an integer correction so that exact powers are not off by one.
+func Fanout(n, num, den int) int {
+	if n <= 1 {
+		return 1
+	}
+	x := math.Pow(float64(n), float64(num)/float64(den))
+	f := int(math.Ceil(x - 1e-9))
+	if f < 1 {
+		f = 1
+	}
+	if f > n-1 {
+		f = n - 1
+	}
+	return f
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ValidateTradeoffK checks the parameter of NewTradeoff: k >= 3 gives the
+// odd round count l = 2k-3 >= 3 of Theorem 3.10.
+func ValidateTradeoffK(k int) error {
+	if k < 3 {
+		return fmt.Errorf("core: tradeoff parameter k = %d, need k >= 3", k)
+	}
+	return nil
+}
+
+// ValidateAfekGafniK checks the parameter of NewAfekGafni: k >= 1 gives
+// l = 2k rounds.
+func ValidateAfekGafniK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: afek-gafni parameter k = %d, need k >= 1", k)
+	}
+	return nil
+}
+
+// AsyncLinearK returns the k = Theta(log n / log log n) parameter at which
+// the asynchronous tradeoff of Theorem 5.1 reaches its near-linear-message
+// extreme (O(n log n) messages, O(log n) time).
+func AsyncLinearK(n int) int {
+	if n < 4 {
+		return 2
+	}
+	ln := math.Log(float64(n))
+	lln := math.Log(ln)
+	if lln < 1 {
+		lln = 1
+	}
+	k := int(math.Round(ln / lln))
+	if k < 2 {
+		k = 2
+	}
+	return k
+}

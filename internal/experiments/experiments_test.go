@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every Table-1 experiment in quick mode and
+// requires all self-checks to pass — this is the repository's end-to-end
+// reproduction gate.
+func TestAllExperimentsQuick(t *testing.T) {
+	reps, err := RunAll(Config{Quick: true, Seed: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(Registry) {
+		t.Fatalf("ran %d of %d experiments", len(reps), len(Registry))
+	}
+	for _, rep := range reps {
+		if len(rep.Checks) == 0 {
+			t.Errorf("%s: no checks", rep.ID)
+		}
+		for _, c := range rep.Checks {
+			if !c.Pass {
+				t.Errorf("%s check %q failed: %s", rep.ID, c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("got %d experiments", len(ids))
+	}
+	if ids[0] != "E1" || ids[12] != "E13" {
+		t.Fatalf("order wrong: %v", ids)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep, err := E4SmallID(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "E4") || !strings.Contains(s, "PASS") {
+		t.Fatalf("plain rendering wrong:\n%s", s)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "## E4") || !strings.Contains(md, "| n |") {
+		t.Fatalf("markdown rendering wrong:\n%s", md)
+	}
+	if !rep.Passed() {
+		t.Fatal("E4 quick run failed checks")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).seeds() != 10 {
+		t.Fatal("default seeds")
+	}
+	if (Config{Quick: true}).seeds() != 4 {
+		t.Fatal("quick seeds")
+	}
+	if (Config{Seeds: 7}).seeds() != 7 {
+		t.Fatal("explicit seeds")
+	}
+	full := []int{1, 2, 3}
+	quick := []int{1}
+	if got := (Config{Quick: true}).nsFor(full, quick); len(got) != 1 {
+		t.Fatal("quick ns")
+	}
+	if got := (Config{}).nsFor(full, quick); len(got) != 3 {
+		t.Fatal("full ns")
+	}
+}

@@ -1,0 +1,307 @@
+// Package portmap implements the port mappings of the paper's clique model
+// (Section 2): each of the n nodes has n-1 ports; a port mapping is a
+// bijective pairing p((u,i)) = (v,j) with p((v,j)) = (u,i), assigning each
+// unordered node pair exactly one link. Nodes do not know where their ports
+// lead until a message crosses them.
+//
+// Four implementations cover the paper's needs:
+//
+//   - Canonical: the fixed algebraic involution v=(u+p+1) mod n. O(1) memory.
+//   - SharedPerm: Canonical composed with a random offset permutation shared
+//     by all nodes. O(n) memory; scrambles deterministic protocols' port
+//     choices while remaining cheap at large n.
+//   - LazyRandom: a uniformly random port mapping materialized lazily, port
+//     by port, on first use. O(#used links) memory, so uniformly-random
+//     wiring scales to cliques whose full mapping would not fit in memory.
+//   - Adaptive: the lower-bound adversary's mapping (Lemma 3.3): unused
+//     ports are wired at first use by a caller-supplied strategy, subject to
+//     feasibility. This is admissible against deterministic algorithms
+//     because they must work under every port mapping.
+package portmap
+
+import (
+	"fmt"
+
+	"cliquelect/internal/xrand"
+)
+
+// Map resolves port endpoints. Implementations must behave as a fixed
+// bijective involution: if Dest(u,p) = (v,q) then Dest(v,q) = (u,p), v != u,
+// and distinct ports of u lead to distinct nodes. Dest may materialize the
+// wiring lazily but must stay consistent across calls.
+type Map interface {
+	// N returns the number of nodes.
+	N() int
+	// Dest returns the node and arrival port on the far end of (u, p).
+	Dest(u, p int) (v, q int)
+}
+
+// Canonical is the O(1)-memory involution: port p of node u (0-based)
+// connects to node (u+p+1) mod n, arriving on port n-2-p.
+type Canonical struct {
+	n int
+}
+
+// NewCanonical returns the canonical mapping for n >= 2 nodes.
+func NewCanonical(n int) *Canonical {
+	if n < 2 {
+		panic(fmt.Sprintf("portmap: need n >= 2, got %d", n))
+	}
+	return &Canonical{n: n}
+}
+
+// N implements Map.
+func (c *Canonical) N() int { return c.n }
+
+// Dest implements Map.
+func (c *Canonical) Dest(u, p int) (int, int) {
+	checkPort(c.n, u, p)
+	offset := p + 1
+	v := (u + offset) % c.n
+	return v, c.n - 1 - offset
+}
+
+// SharedPerm composes the canonical map with one random permutation of the
+// offsets {1..n-1} shared by all nodes: port p of node u leads to
+// (u + perm[p]) mod n. All nodes see the same scrambled offset order, which
+// is a legal (if correlated) random port mapping using only O(n) memory.
+type SharedPerm struct {
+	n    int
+	perm []int // perm[p] = offset in 1..n-1
+	inv  []int // inv[offset] = p
+}
+
+// NewSharedPerm builds a shared-permutation mapping from the given RNG.
+func NewSharedPerm(n int, rng *xrand.RNG) *SharedPerm {
+	if n < 2 {
+		panic(fmt.Sprintf("portmap: need n >= 2, got %d", n))
+	}
+	base := rng.Perm(n - 1) // values 0..n-2
+	perm := make([]int, n-1)
+	inv := make([]int, n) // indexed by offset 1..n-1
+	for p, b := range base {
+		offset := b + 1
+		perm[p] = offset
+		inv[offset] = p
+	}
+	return &SharedPerm{n: n, perm: perm, inv: inv}
+}
+
+// N implements Map.
+func (s *SharedPerm) N() int { return s.n }
+
+// Dest implements Map.
+func (s *SharedPerm) Dest(u, p int) (int, int) {
+	checkPort(s.n, u, p)
+	offset := s.perm[p]
+	v := (u + offset) % s.n
+	return v, s.inv[s.n-offset]
+}
+
+// endpoint encodes (node, port) into a single key.
+func endpoint(u, p int) uint64 { return uint64(u)<<32 | uint64(uint32(p)) }
+
+// link encodes an unordered node pair.
+func link(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// lazyState is the shared machinery of LazyRandom and Adaptive: consistent
+// lazy wiring with feasibility bookkeeping.
+type lazyState struct {
+	n     int
+	rng   *xrand.RNG
+	wired map[uint64]uint64   // endpoint -> endpoint (both directions)
+	links map[uint64]struct{} // unordered pairs already wired
+	deg   []int               // wired links per node
+}
+
+func newLazyState(n int, rng *xrand.RNG) lazyState {
+	if n < 2 {
+		panic(fmt.Sprintf("portmap: need n >= 2, got %d", n))
+	}
+	return lazyState{
+		n:     n,
+		rng:   rng,
+		wired: make(map[uint64]uint64),
+		links: make(map[uint64]struct{}),
+		deg:   make([]int, n),
+	}
+}
+
+// connected reports whether the link {u,v} is already wired.
+func (s *lazyState) connected(u, v int) bool {
+	_, ok := s.links[link(u, v)]
+	return ok
+}
+
+// freePort samples a uniformly random unwired port of v by rejection. v must
+// have at least one free port.
+func (s *lazyState) freePort(v int) int {
+	if s.deg[v] >= s.n-1 {
+		panic(fmt.Sprintf("portmap: node %d has no free ports", v))
+	}
+	for {
+		q := s.rng.Intn(s.n - 1)
+		if _, used := s.wired[endpoint(v, q)]; !used {
+			return q
+		}
+	}
+}
+
+// wire connects (u,p) <-> (v,q).
+func (s *lazyState) wire(u, p, v, q int) {
+	s.wired[endpoint(u, p)] = endpoint(v, q)
+	s.wired[endpoint(v, q)] = endpoint(u, p)
+	s.links[link(u, v)] = struct{}{}
+	s.deg[u]++
+	s.deg[v]++
+}
+
+// resolve returns the wired far end of (u,p) if present.
+func (s *lazyState) resolve(u, p int) (int, int, bool) {
+	e, ok := s.wired[endpoint(u, p)]
+	if !ok {
+		return 0, 0, false
+	}
+	return int(e >> 32), int(uint32(e)), true
+}
+
+// LazyRandom is a uniformly random port mapping, materialized lazily. Every
+// unwired port of u leads to a uniformly random node not yet linked to u,
+// arriving on a uniformly random free port of that node. This realizes the
+// same distribution as drawing the full random mapping up front, restricted
+// to the ports actually used.
+type LazyRandom struct {
+	s lazyState
+}
+
+// NewLazyRandom returns a lazy uniform mapping driven by the given RNG.
+func NewLazyRandom(n int, rng *xrand.RNG) *LazyRandom {
+	return &LazyRandom{s: newLazyState(n, rng)}
+}
+
+// N implements Map.
+func (m *LazyRandom) N() int { return m.s.n }
+
+// Dest implements Map.
+func (m *LazyRandom) Dest(u, p int) (int, int) {
+	checkPort(m.s.n, u, p)
+	if v, q, ok := m.s.resolve(u, p); ok {
+		return v, q
+	}
+	// Pick a uniformly random node not yet linked to u.
+	var v int
+	for {
+		v = m.s.rng.Intn(m.s.n)
+		if v != u && !m.s.connected(u, v) {
+			break
+		}
+	}
+	q := m.s.freePort(v)
+	m.s.wire(u, p, v, q)
+	return v, q
+}
+
+// Chooser is the adversary strategy for an Adaptive mapping. Given that node
+// u is sending over previously-unwired port p, it returns the node the
+// adversary wants to receive the message. Returning a node already linked to
+// u, u itself, or a value outside [0,n) makes the mapping fall back to a
+// uniformly random feasible choice.
+type Chooser func(u, p int) int
+
+// ArrivalChooser picks the arrival port on the destination side of a fresh
+// wire. Lemma 3.3's adversary controls both endpoints of an unused link, and
+// the component game exploits this: assigning arrivals to the destination's
+// *lowest* unwired ports makes a deterministic algorithm's future low-port
+// sends reuse existing in-block links instead of demanding fresh ones.
+// Returning an already-wired or out-of-range port falls back to a uniformly
+// random free port.
+type ArrivalChooser func(v int) int
+
+// Adaptive is the lower-bound adversary's port mapping (cf. Lemma 3.3 and
+// the pruning argument of Lemma 3.9): wiring decisions are deferred until a
+// port is first used and then made by the Chooser, subject to bijectivity.
+type Adaptive struct {
+	s             lazyState
+	choose        Chooser
+	chooseArrival ArrivalChooser
+}
+
+// NewAdaptive builds an adaptive mapping with the given strategy; rng breaks
+// the adversary's ties and serves fallback choices.
+func NewAdaptive(n int, choose Chooser, rng *xrand.RNG) *Adaptive {
+	return &Adaptive{s: newLazyState(n, rng), choose: choose}
+}
+
+// SetArrivalChooser installs an arrival-port strategy (nil reverts to
+// uniformly random free ports).
+func (m *Adaptive) SetArrivalChooser(f ArrivalChooser) { m.chooseArrival = f }
+
+// N implements Map.
+func (m *Adaptive) N() int { return m.s.n }
+
+// Wired reports whether port p of node u has been wired yet. The component
+// game uses this to distinguish port opens from reuse.
+func (m *Adaptive) Wired(u, p int) bool {
+	_, _, ok := m.s.resolve(u, p)
+	return ok
+}
+
+// Connected reports whether nodes u and v are already joined by a wired
+// link.
+func (m *Adaptive) Connected(u, v int) bool { return m.s.connected(u, v) }
+
+// Degree returns the number of wired links at node u.
+func (m *Adaptive) Degree(u int) int { return m.s.deg[u] }
+
+// Dest implements Map.
+func (m *Adaptive) Dest(u, p int) (int, int) {
+	checkPort(m.s.n, u, p)
+	if v, q, ok := m.s.resolve(u, p); ok {
+		return v, q
+	}
+	v := m.choose(u, p)
+	if v < 0 || v >= m.s.n || v == u || m.s.connected(u, v) {
+		// Infeasible adversary choice: fall back to uniform.
+		for {
+			v = m.s.rng.Intn(m.s.n)
+			if v != u && !m.s.connected(u, v) {
+				break
+			}
+		}
+	}
+	q := -1
+	if m.chooseArrival != nil {
+		if c := m.chooseArrival(v); c >= 0 && c < m.s.n-1 {
+			if _, used := m.s.wired[endpoint(v, c)]; !used {
+				q = c
+			}
+		}
+	}
+	if q < 0 {
+		q = m.s.freePort(v)
+	}
+	m.s.wire(u, p, v, q)
+	return v, q
+}
+
+func checkPort(n, u, p int) {
+	if u < 0 || u >= n {
+		panic(fmt.Sprintf("portmap: node %d out of range [0,%d)", u, n))
+	}
+	if p < 0 || p >= n-1 {
+		panic(fmt.Sprintf("portmap: port %d out of range [0,%d)", p, n-1))
+	}
+}
+
+// Interface compliance checks.
+var (
+	_ Map = (*Canonical)(nil)
+	_ Map = (*SharedPerm)(nil)
+	_ Map = (*LazyRandom)(nil)
+	_ Map = (*Adaptive)(nil)
+)

@@ -1,0 +1,36 @@
+package proto
+
+import "testing"
+
+func TestDecisionString(t *testing.T) {
+	cases := map[Decision]string{
+		Undecided:    "undecided",
+		Leader:       "leader",
+		NonLeader:    "non-leader",
+		Decision(99): "Decision(99)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestEnvPorts(t *testing.T) {
+	if (Env{N: 16}).Ports() != 15 {
+		t.Fatal("Ports() wrong")
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	if (Message{}).Words() != 3 {
+		t.Fatal("CONGEST word count changed; update the engines' accounting")
+	}
+}
+
+func TestZeroValueDecisionIsUndecided(t *testing.T) {
+	var d Decision
+	if d != Undecided {
+		t.Fatal("zero value must mean undecided")
+	}
+}

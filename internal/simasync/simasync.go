@@ -1,0 +1,433 @@
+// Package simasync simulates the asynchronous clique of Section 5 of the
+// paper: point-to-point links with adversarially chosen message delays,
+// per-link FIFO delivery, an obliviously chosen port mapping, and
+// adversarial wake-up.
+//
+// Following the paper's definition, the asynchronous time complexity of a
+// run is the total number of time units from the first wake-up until the
+// last message is received, where one unit of time is an upper bound on the
+// transmission time of a message. The engine therefore constrains every
+// delay policy to produce delays in (0, 1] and reports the makespan
+// directly in those units. Node-local processing is instantaneous.
+//
+// The adversary model matches Section 5: the port mapping is fixed
+// obliviously (before any node wakes, independent of the nodes' coins),
+// while the schedule (delays) may be adaptive. Determinism: the event queue
+// is a binary heap ordered by (time, sequence number), so identical seeds
+// reproduce identical executions.
+package simasync
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"cliquelect/internal/ids"
+	"cliquelect/internal/portmap"
+	"cliquelect/internal/proto"
+	"cliquelect/internal/xrand"
+)
+
+// Protocol is the per-node logic of an asynchronous algorithm. Wake is
+// called exactly once when the node is activated — by the adversary or by
+// its first incoming message; in the latter case Receive is called for that
+// message immediately after Wake. Receive is invoked once per delivered
+// message, in delivery order. Both return the messages to send, which depart
+// at the current instant. Nodes are expected to keep responding after
+// deciding (Algorithm 2 requires referees to answer compete-messages even
+// when decided), so there is no halt signal: a run ends at quiescence.
+type Protocol interface {
+	Wake(env proto.Env) []proto.Send
+	Receive(d proto.Delivery) []proto.Send
+	Decision() proto.Decision
+}
+
+// Factory constructs the protocol instance for a node.
+type Factory func(node int) Protocol
+
+// DelayPolicy is the adversary's scheduler: it assigns each message a
+// transmission delay. Results are clamped to (0, 1] by the engine (one time
+// unit is, by definition, the maximum transmission time).
+type DelayPolicy interface {
+	Delay(src, port int, now float64, rng *xrand.RNG) float64
+}
+
+// KindAwareDelayPolicy is an optional extension: a scheduler that inspects
+// message kinds. Section 5's adversary is adaptive (it sees the nodes'
+// random bits before scheduling), so content-aware scheduling is admissible;
+// the stress tests use it to slow down exactly the messages whose late
+// arrival exercises an algorithm's hardest code path (e.g. Algorithm 2's
+// winner revocation).
+type KindAwareDelayPolicy interface {
+	DelayPolicy
+	DelayKind(src, port int, kind uint8, now float64, rng *xrand.RNG) float64
+}
+
+// KindDelay slows messages of the designated kinds to a full time unit and
+// delivers everything else after Fast.
+type KindDelay struct {
+	Slow []uint8
+	Fast float64 // delay for all other kinds; <= 0 means 0.05
+}
+
+// Delay implements DelayPolicy (used when the engine has no kind, e.g. by
+// other tooling); it returns the fast delay.
+func (k KindDelay) Delay(int, int, float64, *xrand.RNG) float64 { return k.fast() }
+
+// DelayKind implements KindAwareDelayPolicy.
+func (k KindDelay) DelayKind(_, _ int, kind uint8, _ float64, _ *xrand.RNG) float64 {
+	for _, s := range k.Slow {
+		if s == kind {
+			return 1
+		}
+	}
+	return k.fast()
+}
+
+func (k KindDelay) fast() float64 {
+	if k.Fast <= 0 {
+		return 0.05
+	}
+	return k.Fast
+}
+
+// UnitDelay delivers every message after exactly one time unit — the
+// synchronous-like worst case.
+type UnitDelay struct{}
+
+// Delay implements DelayPolicy.
+func (UnitDelay) Delay(int, int, float64, *xrand.RNG) float64 { return 1 }
+
+// UniformDelay draws each delay uniformly from [Lo, 1]. Lo <= 0 is treated
+// as a small positive floor.
+type UniformDelay struct {
+	Lo float64
+}
+
+// Delay implements DelayPolicy.
+func (u UniformDelay) Delay(_, _ int, _ float64, rng *xrand.RNG) float64 {
+	lo := u.Lo
+	if lo <= 0 {
+		lo = 1e-6
+	}
+	if lo > 1 {
+		lo = 1
+	}
+	return lo + (1-lo)*rng.Float64()
+}
+
+// SkewDelay makes a subset of senders slow (delay 1) and everyone else fast
+// (delay Fast): a crude but effective adversary against algorithms that
+// assume uniform progress, and the scheduler that exercises Algorithm 2's
+// winner-revocation path (slow compete messages arrive after a referee has
+// already crowned someone else).
+type SkewDelay struct {
+	Fast float64 // delay for fast senders, e.g. 0.05
+	Mod  int     // senders with index % Mod == 0 are slow; Mod <= 1 = all slow
+}
+
+// Delay implements DelayPolicy.
+func (s SkewDelay) Delay(src, _ int, _ float64, _ *xrand.RNG) float64 {
+	if s.Mod <= 1 || src%s.Mod == 0 {
+		return 1
+	}
+	f := s.Fast
+	if f <= 0 {
+		f = 0.05
+	}
+	return f
+}
+
+// WakeSchedule lists adversary-initiated wake-ups. Times must be >= 0; the
+// engine normalizes the earliest to time 0 for the makespan measurement.
+type WakeSchedule []WakeAt
+
+// WakeAt wakes one node at one instant.
+type WakeAt struct {
+	Node int
+	Time float64
+}
+
+// AllAtZero wakes every node at time zero (the simultaneous wake-up used by
+// Section 5.4's deterministic algorithm).
+func AllAtZero(n int) WakeSchedule {
+	ws := make(WakeSchedule, n)
+	for i := range ws {
+		ws[i] = WakeAt{Node: i}
+	}
+	return ws
+}
+
+// SubsetAtZero wakes the given nodes at time zero (Section 5's adversarial
+// wake-up, paper's simplifying assumption of round-1-only wake-ups).
+func SubsetAtZero(nodes []int) WakeSchedule {
+	ws := make(WakeSchedule, len(nodes))
+	for i, u := range nodes {
+		ws[i] = WakeAt{Node: u}
+	}
+	return ws
+}
+
+// Config describes one asynchronous execution.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// IDs assigns an ID per node; required, length N.
+	IDs ids.Assignment
+	// Ports is the oblivious port mapping; nil defaults to LazyRandom seeded
+	// from Seed.
+	Ports portmap.Map
+	// Delays is the adversary's scheduler; nil defaults to UnitDelay.
+	Delays DelayPolicy
+	// Wake is the adversary's wake schedule; required, nonempty.
+	Wake WakeSchedule
+	// Seed drives engine randomness (port map, node RNGs, delay draws).
+	Seed uint64
+	// MaxEvents aborts runaway executions; 0 defaults to 64*N*N + 1<<16.
+	MaxEvents int64
+}
+
+// Result summarizes one asynchronous execution.
+type Result struct {
+	// TimeUnits is the asynchronous time complexity: latest event time minus
+	// earliest wake time, in units of the maximum transmission delay.
+	TimeUnits float64
+	// Messages is the total number of messages sent.
+	Messages int64
+	// Words is the CONGEST payload volume.
+	Words int64
+	// PerKind counts messages by kind.
+	PerKind map[uint8]int64
+	// Decisions holds each node's final output.
+	Decisions []proto.Decision
+	// WakeTime[u] is when node u woke; -1 if it never woke.
+	WakeTime []float64
+	// TimedOut reports that MaxEvents was exhausted.
+	TimedOut bool
+}
+
+// Leaders returns the indices of nodes that decided Leader.
+func (r *Result) Leaders() []int {
+	var out []int
+	for u, d := range r.Decisions {
+		if d == proto.Leader {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UniqueLeader returns the elected node, or -1 if not exactly one.
+func (r *Result) UniqueLeader() int {
+	ls := r.Leaders()
+	if len(ls) != 1 {
+		return -1
+	}
+	return ls[0]
+}
+
+// AllAwake reports whether every node was activated.
+func (r *Result) AllAwake() bool {
+	for _, w := range r.WakeTime {
+		if w < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks implicit leader election: exactly one leader and every
+// awake node decided.
+func (r *Result) Validate() error {
+	if r.TimedOut {
+		return errors.New("simasync: execution exhausted its event budget")
+	}
+	if got := len(r.Leaders()); got != 1 {
+		return fmt.Errorf("simasync: %d leaders elected, want 1", got)
+	}
+	for u, d := range r.Decisions {
+		if r.WakeTime[u] >= 0 && d == proto.Undecided {
+			return fmt.Errorf("simasync: awake node %d did not decide", u)
+		}
+	}
+	return nil
+}
+
+type eventKind uint8
+
+const (
+	evWake eventKind = iota + 1
+	evDeliver
+)
+
+type event struct {
+	time float64
+	seq  int64
+	kind eventKind
+	node int
+	d    proto.Delivery
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run executes the configured asynchronous algorithm to quiescence.
+func Run(cfg Config, factory Factory) (*Result, error) {
+	n := cfg.N
+	if n < 1 {
+		return nil, fmt.Errorf("simasync: N = %d", n)
+	}
+	if len(cfg.IDs) != n {
+		return nil, fmt.Errorf("simasync: %d IDs for %d nodes", len(cfg.IDs), n)
+	}
+	if len(cfg.Wake) == 0 {
+		return nil, errors.New("simasync: empty wake schedule")
+	}
+	master := xrand.New(cfg.Seed)
+	pm := cfg.Ports
+	if pm == nil && n >= 2 {
+		pm = portmap.NewLazyRandom(n, master.Split())
+	}
+	delays := cfg.Delays
+	if delays == nil {
+		delays = UnitDelay{}
+	}
+	delayRNG := master.Split()
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 64*int64(n)*int64(n) + 1<<16
+	}
+
+	nodes := make([]Protocol, n)
+	envs := make([]proto.Env, n)
+	for u := 0; u < n; u++ {
+		nodes[u] = factory(u)
+		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: master.Split()}
+	}
+
+	res := &Result{
+		PerKind:   make(map[uint8]int64),
+		Decisions: make([]proto.Decision, n),
+		WakeTime:  make([]float64, n),
+	}
+	for u := range res.WakeTime {
+		res.WakeTime[u] = -1
+	}
+
+	var h eventHeap
+	var seq int64
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+	firstWake := cfg.Wake[0].Time
+	for _, w := range cfg.Wake {
+		if w.Node < 0 || w.Node >= n {
+			return nil, fmt.Errorf("simasync: wake schedule names invalid node %d", w.Node)
+		}
+		if w.Time < 0 {
+			return nil, fmt.Errorf("simasync: negative wake time %v", w.Time)
+		}
+		if w.Time < firstWake {
+			firstWake = w.Time
+		}
+		push(event{time: w.Time, kind: evWake, node: w.Node})
+	}
+
+	awake := make([]bool, n)
+	lastSched := make(map[uint64]float64) // directed link -> last delivery time (FIFO clamp)
+	linkKey := func(src, dst int) uint64 { return uint64(src)<<32 | uint64(uint32(dst)) }
+	lastEvent := firstWake
+
+	kindAware, _ := delays.(KindAwareDelayPolicy)
+	dispatch := func(u int, now float64, outs []proto.Send) error {
+		for _, s := range outs {
+			if s.Port < 0 || s.Port >= n-1 {
+				return fmt.Errorf("simasync: node %d sent on invalid port %d", u, s.Port)
+			}
+			v, q := pm.Dest(u, s.Port)
+			var d float64
+			if kindAware != nil {
+				d = kindAware.DelayKind(u, s.Port, s.Msg.Kind, now, delayRNG)
+			} else {
+				d = delays.Delay(u, s.Port, now, delayRNG)
+			}
+			if d <= 0 {
+				d = 1e-9
+			}
+			if d > 1 {
+				d = 1
+			}
+			at := now + d
+			lk := linkKey(u, v)
+			if prev, ok := lastSched[lk]; ok && at < prev {
+				at = prev // FIFO: no overtaking on a link
+			}
+			lastSched[lk] = at
+			res.Messages++
+			res.Words += int64(s.Msg.Words())
+			res.PerKind[s.Msg.Kind]++
+			push(event{time: at, kind: evDeliver, node: v, d: proto.Delivery{Port: q, Msg: s.Msg}})
+		}
+		return nil
+	}
+
+	var processed int64
+	for h.Len() > 0 {
+		if processed >= maxEvents {
+			res.TimedOut = true
+			break
+		}
+		processed++
+		e := heap.Pop(&h).(event)
+		if e.time > lastEvent {
+			lastEvent = e.time
+		}
+		u := e.node
+		switch e.kind {
+		case evWake:
+			if awake[u] {
+				continue
+			}
+			awake[u] = true
+			res.WakeTime[u] = e.time
+			if err := dispatch(u, e.time, nodes[u].Wake(envs[u])); err != nil {
+				return nil, err
+			}
+		case evDeliver:
+			if !awake[u] {
+				awake[u] = true
+				res.WakeTime[u] = e.time
+				if err := dispatch(u, e.time, nodes[u].Wake(envs[u])); err != nil {
+					return nil, err
+				}
+			}
+			if err := dispatch(u, e.time, nodes[u].Receive(e.d)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		res.Decisions[u] = nodes[u].Decision()
+	}
+	res.TimeUnits = lastEvent - firstWake
+	return res, nil
+}
+
+// Interface compliance checks.
+var (
+	_ DelayPolicy = UnitDelay{}
+	_ DelayPolicy = UniformDelay{}
+	_ DelayPolicy = SkewDelay{}
+)

@@ -1,0 +1,335 @@
+// Package simsync simulates the synchronous clique of the paper (Section 2):
+// n nodes connected by point-to-point links, communicating in lock-step
+// rounds under the KT0 clean-network model.
+//
+// Round semantics follow the standard synchronous model the paper uses: in
+// round r every awake node first sends messages (over ports), then receives
+// every message sent to it in round r, then updates its state. Hence a
+// referee contacted in round 1 can answer in round 2, and an algorithm that
+// broadcasts in its final round ends in that round (decisions are made in
+// the receive phase).
+//
+// Wake-up follows Section 3 (simultaneous: every node starts in round 1) or
+// Section 4 (adversarial: the adversary picks a nonempty subset awake in
+// round 1; every other node sleeps until it receives a message, waking at
+// the end of that round and acting from the next round on).
+package simsync
+
+import (
+	"errors"
+	"fmt"
+
+	"cliquelect/internal/ids"
+	"cliquelect/internal/portmap"
+	"cliquelect/internal/proto"
+	"cliquelect/internal/trace"
+	"cliquelect/internal/xrand"
+)
+
+// Protocol is the per-node logic of a synchronous algorithm.
+//
+// The engine calls Init exactly once when the node wakes. Then, for every
+// round r in which the node is awake and not halted, it calls Send(r) at the
+// start of the round and Deliver(r, inbox) at the end of the round, where
+// inbox holds the messages sent to the node in round r (possibly empty; the
+// slice is only valid during the call). A node woken by a message in round r
+// receives Init followed by Deliver(r, inbox) and makes its first sends in
+// round r+1, matching the paper's wake-at-end-of-round semantics.
+//
+// Once Halted returns true the engine stops invoking the node; messages
+// addressed to it are still counted but dropped. Decision must be
+// irrevocable once it leaves Undecided.
+type Protocol interface {
+	Init(env proto.Env)
+	Send(round int) []proto.Send
+	Deliver(round int, inbox []proto.Delivery)
+	Decision() proto.Decision
+	Halted() bool
+}
+
+// Factory constructs the protocol instance for a node. It is called once per
+// node, in node order, before the run starts.
+type Factory func(node int) Protocol
+
+// WakePolicy chooses the set of nodes the adversary wakes at the start of
+// round 1 (the paper's simplifying assumption: all adversarial wake-ups
+// happen in round 1).
+type WakePolicy interface {
+	AwakeAtStart(n int) []int
+}
+
+// Simultaneous wakes every node in round 1 (Section 3's model).
+type Simultaneous struct{}
+
+// AwakeAtStart implements WakePolicy.
+func (Simultaneous) AwakeAtStart(n int) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// AdversarialSet wakes exactly the given nodes in round 1 (Section 4's
+// model). The set must be nonempty.
+type AdversarialSet struct {
+	Nodes []int
+}
+
+// AwakeAtStart implements WakePolicy.
+func (a AdversarialSet) AwakeAtStart(int) []int { return a.Nodes }
+
+// RandomWakeSet returns an AdversarialSet of k distinct random nodes.
+func RandomWakeSet(n, k int, rng *xrand.RNG) AdversarialSet {
+	return AdversarialSet{Nodes: rng.Sample(n, k)}
+}
+
+// Config describes one synchronous execution.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// IDs assigns an ID to each node. Required, length N.
+	IDs ids.Assignment
+	// Ports is the port mapping; nil defaults to a LazyRandom mapping seeded
+	// from Seed.
+	Ports portmap.Map
+	// Wake is the wake-up policy; nil defaults to Simultaneous.
+	Wake WakePolicy
+	// Seed drives all engine-owned randomness (default port map, node RNGs).
+	Seed uint64
+	// MaxRounds aborts runaway executions; 0 defaults to 4*N+64.
+	MaxRounds int
+	// Trace, when non-nil, records the communication graph of the run
+	// (needed by the lower-bound harnesses; costs extra memory).
+	Trace *trace.Recorder
+	// Strict enables protocol-violation detection (duplicate sends on one
+	// port within a round). Tests enable it; large benchmark runs leave it
+	// off to keep the hot path allocation-free.
+	Strict bool
+}
+
+// Result summarizes one synchronous execution.
+type Result struct {
+	// Rounds is the paper's time complexity: the last round in which any
+	// message was sent or any node woke or decided.
+	Rounds int
+	// Messages is the total number of messages sent (the paper's message
+	// complexity).
+	Messages int64
+	// Words is the total CONGEST payload volume in O(log n)-bit words.
+	Words int64
+	// PerRound[r] is the number of messages sent in round r (index 0 unused).
+	PerRound []int64
+	// PerKind counts messages by payload kind.
+	PerKind map[uint8]int64
+	// Decisions holds each node's final output.
+	Decisions []proto.Decision
+	// WakeRound[u] is the round node u woke (1 for initially-awake nodes, 0
+	// if it never woke).
+	WakeRound []int
+	// TimedOut reports that MaxRounds elapsed before quiescence.
+	TimedOut bool
+}
+
+// Leaders returns the indices of nodes that decided Leader.
+func (r *Result) Leaders() []int {
+	var out []int
+	for u, d := range r.Decisions {
+		if d == proto.Leader {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UniqueLeader returns the elected node index if the execution elected
+// exactly one leader, and -1 otherwise.
+func (r *Result) UniqueLeader() int {
+	ls := r.Leaders()
+	if len(ls) != 1 {
+		return -1
+	}
+	return ls[0]
+}
+
+// AllAwake reports whether every node woke up during the run (the wake-up
+// problem of Theorem 4.2).
+func (r *Result) AllAwake() bool {
+	for _, w := range r.WakeRound {
+		if w == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks implicit leader election: exactly one leader, and every
+// awake node decided. It returns nil on success.
+func (r *Result) Validate() error {
+	if r.TimedOut {
+		return errors.New("simsync: execution timed out")
+	}
+	if got := len(r.Leaders()); got != 1 {
+		return fmt.Errorf("simsync: %d leaders elected, want 1", got)
+	}
+	for u, d := range r.Decisions {
+		if r.WakeRound[u] != 0 && d == proto.Undecided {
+			return fmt.Errorf("simsync: awake node %d did not decide", u)
+		}
+	}
+	return nil
+}
+
+// Run executes the configured synchronous algorithm to quiescence and
+// returns its measurements. It returns an error for malformed configurations
+// or (under Strict) protocol violations.
+func Run(cfg Config, factory Factory) (*Result, error) {
+	n := cfg.N
+	if n < 1 {
+		return nil, fmt.Errorf("simsync: N = %d", n)
+	}
+	if len(cfg.IDs) != n {
+		return nil, fmt.Errorf("simsync: %d IDs for %d nodes", len(cfg.IDs), n)
+	}
+	master := xrand.New(cfg.Seed)
+	portRNG := master.Split()
+	pm := cfg.Ports
+	if pm == nil && n >= 2 {
+		pm = portmap.NewLazyRandom(n, portRNG)
+	}
+	wake := cfg.Wake
+	if wake == nil {
+		wake = Simultaneous{}
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 64
+	}
+
+	nodes := make([]Protocol, n)
+	for u := 0; u < n; u++ {
+		nodes[u] = factory(u)
+	}
+	res := &Result{
+		PerRound:  []int64{0},
+		PerKind:   make(map[uint8]int64),
+		Decisions: make([]proto.Decision, n),
+		WakeRound: make([]int, n),
+	}
+
+	awake := make([]bool, n)
+	envs := make([]proto.Env, n)
+	for u := 0; u < n; u++ {
+		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: master.Split()}
+	}
+	initial := wake.AwakeAtStart(n)
+	if len(initial) == 0 {
+		return nil, errors.New("simsync: wake policy woke no nodes")
+	}
+	for _, u := range initial {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("simsync: wake policy woke invalid node %d", u)
+		}
+		if !awake[u] {
+			awake[u] = true
+			res.WakeRound[u] = 1
+			nodes[u].Init(envs[u])
+		}
+	}
+
+	epKey := func(u, p int) uint64 { return uint64(u)<<32 | uint64(uint32(p)) }
+	inbox := make([][]proto.Delivery, n)
+	var usedPort map[uint64]struct{} // ports that carried traffic (Trace only)
+	if cfg.Trace != nil {
+		usedPort = make(map[uint64]struct{})
+	}
+	var seenPort map[uint64]int // Strict only: port -> last round sent
+	if cfg.Strict {
+		seenPort = make(map[uint64]int)
+	}
+	lastActivity := 1
+
+	for r := 1; ; r++ {
+		if r > maxRounds {
+			res.TimedOut = true
+			break
+		}
+		// Send phase.
+		res.PerRound = append(res.PerRound, 0)
+		for u := 0; u < n; u++ {
+			if !awake[u] || nodes[u].Halted() {
+				continue
+			}
+			for _, s := range nodes[u].Send(r) {
+				if s.Port < 0 || s.Port >= n-1 {
+					return nil, fmt.Errorf("simsync: node %d round %d sent on invalid port %d", u, r, s.Port)
+				}
+				k := epKey(u, s.Port)
+				if cfg.Strict {
+					if last, dup := seenPort[k]; dup && last == r {
+						return nil, fmt.Errorf("simsync: node %d round %d sent twice on port %d", u, r, s.Port)
+					}
+					seenPort[k] = r
+				}
+				v, q := pm.Dest(u, s.Port)
+				if cfg.Trace != nil {
+					_, used := usedPort[k]
+					cfg.Trace.RecordSend(r, u, v, !used)
+					usedPort[k] = struct{}{}
+					usedPort[epKey(v, q)] = struct{}{}
+				}
+				res.Messages++
+				res.Words += int64(s.Msg.Words())
+				res.PerRound[r]++
+				res.PerKind[s.Msg.Kind]++
+				inbox[v] = append(inbox[v], proto.Delivery{Port: q, Msg: s.Msg})
+			}
+		}
+		if res.PerRound[r] > 0 {
+			lastActivity = r
+		}
+		// Receive phase: wake sleepers, deliver, tick every awake node.
+		for v := 0; v < n; v++ {
+			box := inbox[v]
+			inbox[v] = nil
+			if len(box) > 0 && !awake[v] {
+				awake[v] = true
+				res.WakeRound[v] = r
+				nodes[v].Init(envs[v])
+				lastActivity = r
+			}
+			if !awake[v] || nodes[v].Halted() {
+				continue
+			}
+			before := nodes[v].Decision()
+			nodes[v].Deliver(r, box)
+			if nodes[v].Decision() != before {
+				lastActivity = r
+			}
+		}
+		// Quiescence: every awake node halted. (Synchronous delivery is
+		// same-round, so nothing is in flight, and a sleeping node can never
+		// wake once all potential senders have halted.)
+		done := true
+		for u := 0; u < n; u++ {
+			if awake[u] && !nodes[u].Halted() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		res.Decisions[u] = nodes[u].Decision()
+	}
+	res.Rounds = lastActivity
+	return res, nil
+}
+
+// Interface compliance checks.
+var (
+	_ WakePolicy = Simultaneous{}
+	_ WakePolicy = AdversarialSet{}
+)

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cliquelect/internal/xrand"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("got %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Fatal("endpoint percentiles wrong")
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("P50 = %v, want 25", got)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	prop := func(seed uint64, n uint8) bool {
+		rng := xrand.New(seed)
+		xs := make([]float64, int(n%50)+1)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerRecoversExponent(t *testing.T) {
+	cases := []struct {
+		c, alpha float64
+	}{
+		{1, 1},
+		{2, 1.5},
+		{0.5, 2},
+		{10, 1.25},
+		{3, 0.5},
+	}
+	for _, cse := range cases {
+		var xs, ys []float64
+		for _, x := range []float64{64, 128, 256, 512, 1024, 2048} {
+			xs = append(xs, x)
+			ys = append(ys, cse.c*math.Pow(x, cse.alpha))
+		}
+		fit, err := FitPower(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Alpha-cse.alpha) > 1e-9 {
+			t.Errorf("alpha = %v, want %v", fit.Alpha, cse.alpha)
+		}
+		if math.Abs(fit.C()-cse.c) > 1e-6*cse.c {
+			t.Errorf("C = %v, want %v", fit.C(), cse.c)
+		}
+		if fit.R2 < 0.999999 {
+			t.Errorf("R2 = %v", fit.R2)
+		}
+	}
+}
+
+func TestFitPowerNoisy(t *testing.T) {
+	rng := xrand.New(99)
+	var xs, ys []float64
+	for _, x := range []float64{64, 128, 256, 512, 1024, 2048, 4096} {
+		noise := 1 + 0.05*(rng.Float64()-0.5)
+		xs = append(xs, x)
+		ys = append(ys, 2*math.Pow(x, 1.5)*noise)
+	}
+	fit, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-1.5) > 0.05 {
+		t.Fatalf("noisy alpha = %v", fit.Alpha)
+	}
+}
+
+func TestFitPowerErrors(t *testing.T) {
+	if _, err := FitPower([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPower([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+	// Non-positive points are dropped, not fatal, as long as 2 remain.
+	if _, err := FitPower([]float64{-1, 2, 4}, []float64{1, 2, 4}); err != nil {
+		t.Fatalf("dropping nonpositive points failed: %v", err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "msgs", "ratio")
+	tb.AddRow(256, 12345, 1.2345678)
+	tb.AddRow(512, 67890, 0.5)
+	s := tb.String()
+	if !strings.Contains(s, "n") || !strings.Contains(s, "12345") {
+		t.Fatalf("table output missing data:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), s)
+	}
+	md := tb.Markdown()
+	if !strings.HasPrefix(md, "| n | msgs | ratio |") {
+		t.Fatalf("markdown header wrong:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "n,msgs,ratio\n256,") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("got %q", trimFloat(3))
+	}
+	if trimFloat(3.14159) != "3.142" {
+		t.Fatalf("got %q", trimFloat(3.14159))
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cliquelect/internal/xrand"
+)
+
+func TestEmptyGraphSingletons(t *testing.T) {
+	r := NewRecorder(8)
+	if r.NumComponents() != 8 {
+		t.Fatalf("components = %d", r.NumComponents())
+	}
+	if r.MaxComponent() != 1 {
+		t.Fatalf("max component = %d", r.MaxComponent())
+	}
+	for u := 0; u < 8; u++ {
+		if r.ComponentSize(u) != 1 {
+			t.Fatalf("node %d size %d", u, r.ComponentSize(u))
+		}
+	}
+}
+
+func TestMergeChain(t *testing.T) {
+	r := NewRecorder(5)
+	r.RecordSend(1, 0, 1, true)
+	r.RecordSend(1, 2, 3, true)
+	if r.NumComponents() != 3 {
+		t.Fatalf("components = %d", r.NumComponents())
+	}
+	if r.SameComponent(0, 2) {
+		t.Fatal("0 and 2 should be separate")
+	}
+	r.RecordSend(2, 1, 2, true)
+	if !r.SameComponent(0, 3) {
+		t.Fatal("0 and 3 should be weakly connected")
+	}
+	if r.MaxComponent() != 4 {
+		t.Fatalf("max = %d", r.MaxComponent())
+	}
+	sizes := r.ComponentSizes()
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 1 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestDirectedEdgesAndDuplicates(t *testing.T) {
+	r := NewRecorder(3)
+	r.RecordSend(1, 0, 1, true)
+	r.RecordSend(1, 0, 1, false) // resend over same port: no new edge
+	r.RecordSend(2, 1, 0, true)  // reverse direction: new directed edge
+	if !r.HasEdge(0, 1) || !r.HasEdge(1, 0) || r.HasEdge(0, 2) {
+		t.Fatal("edge bookkeeping wrong")
+	}
+	if r.RoundEdges(1) != 1 || r.RoundEdges(2) != 1 {
+		t.Fatalf("round edges: r1=%d r2=%d", r.RoundEdges(1), r.RoundEdges(2))
+	}
+	if r.TotalPortOpens() != 2 {
+		t.Fatalf("port opens = %d", r.TotalPortOpens())
+	}
+}
+
+func TestCapacityDefinition(t *testing.T) {
+	// Component {0,1,2,3} where 0 talked to 1, 2 talked to 3, 1 talked to 2.
+	r := NewRecorder(6)
+	r.RecordSend(1, 0, 1, true)
+	r.RecordSend(1, 2, 3, true)
+	r.RecordSend(2, 1, 2, true)
+	// Node 0 touched only 1, so it has 2 untouched peers (2,3) in component.
+	if got := r.Capacity(0); got != 2 {
+		t.Fatalf("capacity(0) = %d, want 2", got)
+	}
+	// Node 1 touched 0 and 2: 1 untouched peer (3).
+	if got := r.Capacity(1); got != 1 {
+		t.Fatalf("capacity(1) = %d, want 1", got)
+	}
+	// Component capacity is the min over members.
+	if got := r.ComponentCapacity(0); got != 1 {
+		t.Fatalf("component capacity = %d, want 1", got)
+	}
+}
+
+func TestCapacityCountsBothDirections(t *testing.T) {
+	r := NewRecorder(4)
+	r.RecordSend(1, 0, 1, true)
+	r.RecordSend(1, 1, 0, true) // both directions: still one touched pair
+	if got := r.Capacity(0); got != 0 {
+		t.Fatalf("capacity(0) = %d, want 0", got)
+	}
+}
+
+// TestComponentsMatchNaive cross-checks the union-find against a naive BFS
+// over random edge sets.
+func TestComponentsMatchNaive(t *testing.T) {
+	prop := func(seed uint64, nn uint8, mm uint8) bool {
+		n := int(nn%20) + 2
+		m := int(mm % 40)
+		rng := xrand.New(seed)
+		r := NewRecorder(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			r.RecordSend(1, u, v, true)
+			adj[u][v], adj[v][u] = true, true
+		}
+		// Naive BFS component labelling.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = -1
+		}
+		next := 0
+		for s := 0; s < n; s++ {
+			if label[s] != -1 {
+				continue
+			}
+			queue := []int{s}
+			label[s] = next
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for v := 0; v < n; v++ {
+					if adj[u][v] && label[v] == -1 {
+						label[v] = next
+						queue = append(queue, v)
+					}
+				}
+			}
+			next++
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if (label[u] == label[v]) != r.SameComponent(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundAccounting(t *testing.T) {
+	r := NewRecorder(10)
+	r.RecordSend(3, 0, 1, true)
+	r.RecordSend(3, 0, 2, true)
+	r.RecordSend(5, 4, 5, true)
+	if r.MaxRound() != 5 {
+		t.Fatalf("max round = %d", r.MaxRound())
+	}
+	if r.RoundOpens(3) != 2 || r.RoundOpens(4) != 0 || r.RoundOpens(5) != 1 {
+		t.Fatal("round opens wrong")
+	}
+	if r.RoundEdges(99) != 0 || r.RoundOpens(-1) != 0 {
+		t.Fatal("out-of-range rounds should be 0")
+	}
+}
+
+func TestPortOpensPerNode(t *testing.T) {
+	r := NewRecorder(4)
+	r.RecordSend(1, 0, 1, true)
+	r.RecordSend(1, 0, 2, true)
+	r.RecordSend(2, 0, 1, false)
+	if r.PortOpens(0) != 2 || r.PortOpens(1) != 0 {
+		t.Fatalf("opens: %d, %d", r.PortOpens(0), r.PortOpens(1))
+	}
+}
