@@ -1,8 +1,9 @@
 // Benchmarks: one per Table-1 row of the paper (E1..E13, matching the
 // experiment index in DESIGN.md). Each benchmark executes complete
-// elections (or complete adversary games) per iteration and reports the
-// paper's complexity measures as custom metrics: msgs/op, rounds/op for
-// synchronous rows, timeunits/op for asynchronous rows.
+// elections (or complete adversary games) per iteration through the public
+// elect API and reports the paper's complexity measures as custom metrics:
+// msgs/op, rounds/op for synchronous rows, timeunits/op for asynchronous
+// rows.
 //
 //	go test -bench=. -benchmem
 package cliquelect_test
@@ -11,59 +12,39 @@ import (
 	"fmt"
 	"testing"
 
-	"cliquelect/internal/core"
-	"cliquelect/internal/ids"
+	"cliquelect/elect"
 	"cliquelect/internal/lowerbound"
-	"cliquelect/internal/simasync"
-	"cliquelect/internal/simsync"
-	"cliquelect/internal/xrand"
 )
 
-// benchSync runs complete synchronous elections per iteration.
-func benchSync(b *testing.B, n int, factory simsync.Factory,
-	mkIDs func(*xrand.RNG) ids.Assignment, wake simsync.WakePolicy) {
+// benchElect runs complete elections per iteration through elect.Run and
+// reports the unified complexity metrics.
+func benchElect(b *testing.B, algo string, n int, opts ...elect.Option) {
 	b.Helper()
-	rng := xrand.New(uint64(n))
-	var msgs, rounds float64
+	spec, err := elect.Lookup(algo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var msgs, rounds, units float64
+	var engine elect.Engine
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := simsync.Run(simsync.Config{
-			N: n, IDs: mkIDs(rng), Seed: rng.Uint64(), Wake: wake,
-		}, factory)
+		all := append([]elect.Option{elect.WithN(n), elect.WithSeed(uint64(n) + uint64(i))}, opts...)
+		res, err := elect.Run(spec, all...)
 		if err != nil {
 			b.Fatal(err)
 		}
+		engine = res.Engine
 		msgs += float64(res.Messages)
 		rounds += float64(res.Rounds)
+		units += res.TimeUnits
 	}
 	b.ReportMetric(msgs/float64(b.N), "msgs/op")
-	b.ReportMetric(rounds/float64(b.N), "rounds/op")
-}
-
-// benchAsync runs complete asynchronous elections per iteration.
-func benchAsync(b *testing.B, n int, factory simasync.Factory, wake simasync.WakeSchedule) {
-	b.Helper()
-	rng := xrand.New(uint64(n))
-	var msgs, units float64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		assign := ids.Random(ids.LogUniverse(n), n, rng)
-		res, err := simasync.Run(simasync.Config{
-			N: n, IDs: assign, Seed: rng.Uint64(), Wake: wake,
-		}, factory)
-		if err != nil {
-			b.Fatal(err)
-		}
-		msgs += float64(res.Messages)
-		units += float64(res.TimeUnits)
-	}
-	b.ReportMetric(msgs/float64(b.N), "msgs/op")
-	b.ReportMetric(units/float64(b.N), "timeunits/op")
-}
-
-func logIDs(n int) func(*xrand.RNG) ids.Assignment {
-	return func(rng *xrand.RNG) ids.Assignment {
-		return ids.Random(ids.LogUniverse(n), n, rng)
+	switch engine {
+	case elect.EngineSync:
+		b.ReportMetric(rounds/float64(b.N), "rounds/op")
+	case elect.EngineAsync:
+		b.ReportMetric(units/float64(b.N), "timeunits/op")
+		// EngineLive measures no time; report only msgs/op.
 	}
 }
 
@@ -72,7 +53,7 @@ func logIDs(n int) func(*xrand.RNG) ids.Assignment {
 func BenchmarkE01ComponentGame(b *testing.B) {
 	var stalled float64
 	for i := 0; i < b.N; i++ {
-		res, err := lowerbound.ComponentGame(256, 8, core.NewTradeoff(4), uint64(i))
+		res, err := lowerbound.ComponentGame(256, 8, lowerbound.TradeoffVictim(4), uint64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,19 +65,13 @@ func BenchmarkE01ComponentGame(b *testing.B) {
 // BenchmarkE02SingleSend runs the Lemma 3.12 transform of the Theorem 3.10
 // algorithm (the Theorem 3.11 census substrate).
 func BenchmarkE02SingleSend(b *testing.B) {
-	const n = 64
-	rng := xrand.New(2)
 	var msgs float64
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := simsync.Run(simsync.Config{
-			N: n, IDs: ids.Random(ids.LogUniverse(n), n, rng),
-			Seed: rng.Uint64(), MaxRounds: 16 * n,
-		}, lowerbound.NewSingleSend(core.NewTradeoff(3)))
+		m, err := lowerbound.RunSingleSend(64, lowerbound.TradeoffVictim(3), uint64(i)+2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		msgs += float64(res.Messages)
+		msgs += float64(m)
 	}
 	b.ReportMetric(msgs/float64(b.N), "msgs/op")
 }
@@ -105,7 +80,7 @@ func BenchmarkE02SingleSend(b *testing.B) {
 func BenchmarkE03Tradeoff(b *testing.B) {
 	for _, l := range []int{3, 5, 7} {
 		b.Run(fmt.Sprintf("l=%d/n=1024", l), func(b *testing.B) {
-			benchSync(b, 1024, core.NewTradeoff((l+3)/2), logIDs(1024), nil)
+			benchElect(b, "tradeoff", 1024, elect.WithParams(elect.Params{K: (l + 3) / 2}))
 		})
 	}
 }
@@ -115,9 +90,7 @@ func BenchmarkE04SmallID(b *testing.B) {
 	const n = 1024
 	for _, d := range []int{2, 32} {
 		b.Run(fmt.Sprintf("d=%d/n=%d", d, n), func(b *testing.B) {
-			benchSync(b, n, core.NewSmallID(d, 1), func(rng *xrand.RNG) ids.Assignment {
-				return ids.Random(ids.LinearUniverse(n, 1), n, rng)
-			}, nil)
+			benchElect(b, "smallid", n, elect.WithParams(elect.Params{D: d, G: 1}))
 		})
 	}
 }
@@ -133,19 +106,20 @@ func BenchmarkE05LasVegasChecker(b *testing.B) {
 
 // BenchmarkE06LasVegas benchmarks the Theorem 3.16 algorithm.
 func BenchmarkE06LasVegas(b *testing.B) {
-	benchSync(b, 1024, core.NewLasVegas(), logIDs(1024), nil)
+	benchElect(b, "lasvegas", 1024)
 }
 
 // BenchmarkE07Sublinear benchmarks the [16] Monte Carlo baseline.
 func BenchmarkE07Sublinear(b *testing.B) {
-	benchSync(b, 4096, core.NewSublinear(), logIDs(4096), nil)
+	benchElect(b, "sublinear", 4096)
 }
 
 // BenchmarkE08AdvWake benchmarks Theorem 4.1 under a single adversarial
 // wake-up.
 func BenchmarkE08AdvWake(b *testing.B) {
-	benchSync(b, 1024, core.NewAdvWake2Round(1.0/16), logIDs(1024),
-		simsync.AdversarialSet{Nodes: []int{0}})
+	benchElect(b, "advwake", 1024,
+		elect.WithParams(elect.Params{Eps: 1.0 / 16}),
+		elect.WithWakeSet([]int{0}))
 }
 
 // BenchmarkE09WakeupGame runs the Theorem 4.2 sweep at one reliable point.
@@ -161,27 +135,29 @@ func BenchmarkE09WakeupGame(b *testing.B) {
 func BenchmarkE10AsyncTradeoff(b *testing.B) {
 	for _, k := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("k=%d/n=1024", k), func(b *testing.B) {
-			benchAsync(b, 1024, core.NewAsyncTradeoff(k), simasync.SubsetAtZero([]int{0}))
+			benchElect(b, "asynctradeoff", 1024,
+				elect.WithParams(elect.Params{K: k}),
+				elect.WithWakeSet([]int{0}))
 		})
 	}
 }
 
 // BenchmarkE11AsyncLinear benchmarks the substituted near-linear baseline.
 func BenchmarkE11AsyncLinear(b *testing.B) {
-	benchAsync(b, 1024, core.NewAsyncLinear(1024), simasync.SubsetAtZero([]int{0}))
+	benchElect(b, "asynclinear", 1024, elect.WithWakeSet([]int{0}))
 }
 
 // BenchmarkE12AsyncAfekGafni benchmarks the Theorem 5.14 deterministic
 // algorithm under simultaneous wake-up.
 func BenchmarkE12AsyncAfekGafni(b *testing.B) {
-	benchAsync(b, 1024, core.NewAsyncAfekGafni(), simasync.AllAtZero(1024))
+	benchElect(b, "asyncafekgafni", 1024)
 }
 
 // BenchmarkE13AfekGafni benchmarks the Afek-Gafni [1] baseline per k.
 func BenchmarkE13AfekGafni(b *testing.B) {
 	for _, k := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("k=%d/n=1024", k), func(b *testing.B) {
-			benchSync(b, 1024, core.NewAfekGafni(k), logIDs(1024), nil)
+			benchElect(b, "afekgafni", 1024, elect.WithParams(elect.Params{K: k}))
 		})
 	}
 }
@@ -189,8 +165,45 @@ func BenchmarkE13AfekGafni(b *testing.B) {
 // BenchmarkEngineSyncBroadcast measures raw engine throughput with an
 // n(n-1)-message broadcast (the engines' worst case per round).
 func BenchmarkEngineSyncBroadcast(b *testing.B) {
-	const n = 512
-	benchSync(b, n, core.NewAfekGafni(1), logIDs(n), nil)
+	benchElect(b, "afekgafni", 512, elect.WithParams(elect.Params{K: 1}))
+}
+
+// BenchmarkEngineLive measures the goroutine-per-node runtime against the
+// event-queue simulator on the same protocol and size.
+func BenchmarkEngineLive(b *testing.B) {
+	for _, eng := range []elect.Engine{elect.EngineAsync, elect.EngineLive} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchElect(b, "asynctradeoff", 256,
+				elect.WithParams(elect.Params{K: 3}),
+				elect.WithEngine(eng))
+		})
+	}
+}
+
+// BenchmarkRunMany measures batch fan-out throughput: 16 seeds of a
+// 256-node election per iteration, on one worker vs. the full pool.
+func BenchmarkRunMany(b *testing.B) {
+	spec, err := elect.Lookup("tradeoff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := elect.RunMany(spec, elect.Batch{
+					Ns:      []int{256},
+					Seeds:   elect.Seeds(uint64(i)*16, 16),
+					Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationArrivalWiring quantifies the DESIGN.md ablation: the
@@ -200,7 +213,7 @@ func BenchmarkAblationArrivalWiring(b *testing.B) {
 	run := func(b *testing.B, opts ...lowerbound.GameOption) {
 		var stalled float64
 		for i := 0; i < b.N; i++ {
-			res, err := lowerbound.ComponentGame(256, 3, core.NewTradeoff(4), uint64(i), opts...)
+			res, err := lowerbound.ComponentGame(256, 3, lowerbound.TradeoffVictim(4), uint64(i), opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -217,9 +230,9 @@ func BenchmarkAblationArrivalWiring(b *testing.B) {
 func BenchmarkExplicitOverhead(b *testing.B) {
 	const n = 1024
 	b.Run("implicit", func(b *testing.B) {
-		benchSync(b, n, core.NewTradeoff(3), logIDs(n), nil)
+		benchElect(b, "tradeoff", n)
 	})
 	b.Run("explicit", func(b *testing.B) {
-		benchSync(b, n, core.NewExplicit(core.NewTradeoff(3)), logIDs(n), nil)
+		benchElect(b, "tradeoff", n, elect.WithExplicit())
 	})
 }

@@ -6,6 +6,7 @@
 //	elect -algo tradeoff -n 1024 -k 4
 //	elect -algo advwake -n 4096 -wake 16 -eps 0.0625
 //	elect -algo asynctradeoff -n 2048 -k 3 -wake 1 -policy skew
+//	elect -algo asynctradeoff -n 256 -engine live
 //	elect -list
 package main
 
@@ -14,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"cliquelect/internal/cli"
+	"cliquelect/elect"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func run(args []string) error {
 		eps      = fs.Float64("eps", 1.0/16, "advwake failure budget epsilon")
 		wake     = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
 		policy   = fs.String("policy", "unit", "async delay policy: unit, uniform, skew")
+		engine   = fs.String("engine", "auto", "engine: auto, sync, async, live")
+		budget   = fs.Int64("budget", 0, "message budget (0 = unlimited)")
 		explicit = fs.Bool("explicit", false, "explicit election: all nodes output the leader ID (sync only)")
 		list     = fs.Bool("list", false, "list algorithms and exit")
 	)
@@ -43,27 +46,46 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
-		for _, s := range cli.Algorithms() {
+		for _, s := range elect.Registry() {
 			fmt.Printf("%-15s %-6s %-30s %s\n", s.Name, s.Model, s.Paper, s.Description)
 		}
 		return nil
 	}
-	spec, err := cli.Lookup(*algo)
+	spec, err := elect.Lookup(*algo)
 	if err != nil {
 		return err
 	}
-	sum, err := cli.Run(spec, cli.RunOpts{
-		N: *n, Seed: *seed,
-		Params:    cli.Params{K: *k, D: *d, G: *g, Eps: *eps},
-		WakeCount: *wake,
-		Policy:    *policy,
-		Explicit:  *explicit && spec.Model == cli.Sync,
-	})
+	delays, err := elect.ParseDelays(*policy)
 	if err != nil {
 		return err
 	}
-	fmt.Print(sum)
-	if !sum.OK {
+	eng, err := elect.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	opts := []elect.Option{
+		elect.WithN(*n),
+		elect.WithSeed(*seed),
+		elect.WithParams(elect.Params{K: *k, D: *d, G: *g, Eps: *eps}),
+		elect.WithWake(*wake),
+		elect.WithEngine(eng),
+		elect.WithMessageBudget(*budget),
+	}
+	if spec.Model == elect.Async {
+		opts = append(opts, elect.WithDelays(delays))
+	}
+	if *explicit && spec.Model == elect.Sync {
+		opts = append(opts, elect.WithExplicit())
+	}
+	res, err := elect.Run(spec, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	if res.Truncated {
+		return fmt.Errorf("run truncated by the message budget (%d messages sent)", res.Messages)
+	}
+	if !res.OK {
 		return fmt.Errorf("run did not elect a unique leader (randomized algorithms may fail; try another -seed)")
 	}
 	return nil

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"os"
 
-	"cliquelect/internal/core"
 	"cliquelect/internal/lowerbound"
 	"cliquelect/internal/stats"
 )
@@ -38,7 +37,7 @@ func run(args []string) error {
 	}
 	switch *game {
 	case "component":
-		res, err := lowerbound.ComponentGame(*n, *f, core.NewTradeoff(*k), *seed)
+		res, err := lowerbound.ComponentGame(*n, *f, lowerbound.TradeoffVictim(*k), *seed)
 		if err != nil {
 			return err
 		}
@@ -68,7 +67,7 @@ func run(args []string) error {
 		}
 		fmt.Print(t.String())
 	case "lasvegas":
-		factory := core.NewLasVegas()
+		factory := lowerbound.HonestLasVegas()
 		label := "Theorem 3.16 algorithm"
 		if *cheat {
 			factory = lowerbound.NewCheatingLasVegas()

@@ -1,6 +1,7 @@
 // Command sweep measures one algorithm across network sizes and parameter
 // values, printing a table (or CSV) with mean messages, rounds/time, and a
-// fitted message-complexity exponent.
+// fitted message-complexity exponent. Runs fan out over a worker pool
+// (elect.RunMany), so wide sweeps use every core.
 //
 // Usage:
 //
@@ -15,7 +16,7 @@ import (
 	"strconv"
 	"strings"
 
-	"cliquelect/internal/cli"
+	"cliquelect/elect"
 	"cliquelect/internal/stats"
 )
 
@@ -42,22 +43,27 @@ func parseInts(s string) ([]int, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		algo   = fs.String("algo", "tradeoff", "algorithm name")
-		nsFlag = fs.String("ns", "256,512,1024,2048", "comma-separated network sizes")
-		kFlag  = fs.String("k", "3", "comma-separated k values (tradeoff-family algorithms)")
-		d      = fs.Int("d", 2, "smallid d")
-		g      = fs.Int("g", 1, "smallid g")
-		eps    = fs.Float64("eps", 1.0/16, "advwake epsilon")
-		seeds  = fs.Int("seeds", 10, "runs per configuration")
-		seed   = fs.Uint64("seed", 1, "master seed")
-		wake   = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
-		policy = fs.String("policy", "unit", "async delay policy")
-		csv    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		algo    = fs.String("algo", "tradeoff", "algorithm name")
+		nsFlag  = fs.String("ns", "256,512,1024,2048", "comma-separated network sizes")
+		kFlag   = fs.String("k", "3", "comma-separated k values (tradeoff-family algorithms)")
+		d       = fs.Int("d", 2, "smallid d")
+		g       = fs.Int("g", 1, "smallid g")
+		eps     = fs.Float64("eps", 1.0/16, "advwake epsilon")
+		seeds   = fs.Int("seeds", 10, "runs per configuration")
+		seed    = fs.Uint64("seed", 1, "master seed")
+		wake    = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
+		policy  = fs.String("policy", "unit", "async delay policy")
+		workers = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := cli.Lookup(*algo)
+	spec, err := elect.Lookup(*algo)
+	if err != nil {
+		return err
+	}
+	delays, err := elect.ParseDelays(*policy)
 	if err != nil {
 		return err
 	}
@@ -72,35 +78,28 @@ func run(args []string) error {
 
 	table := stats.NewTable("k", "n", "mean msgs", "std", "mean time", "success")
 	for _, k := range ks {
+		opts := []elect.Option{
+			elect.WithParams(elect.Params{K: k, D: *d, G: *g, Eps: *eps}),
+			elect.WithWake(*wake),
+		}
+		if spec.Model == elect.Async {
+			opts = append(opts, elect.WithDelays(delays))
+		}
+		batch, err := elect.RunMany(spec, elect.Batch{
+			Ns:      ns,
+			Seeds:   elect.Seeds(*seed+uint64(k)*104729, *seeds),
+			Options: opts,
+			Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
 		var xs, ys []float64
-		for _, n := range ns {
-			var msgs []float64
-			var timeSum float64
-			succ := 0
-			for s := 0; s < *seeds; s++ {
-				sum, err := cli.Run(spec, cli.RunOpts{
-					N: n, Seed: *seed + uint64(s*7919+k*104729+n),
-					Params:    cli.Params{K: k, D: *d, G: *g, Eps: *eps},
-					WakeCount: *wake, Policy: *policy,
-				})
-				if err != nil {
-					return err
-				}
-				msgs = append(msgs, float64(sum.Messages))
-				if spec.Model == cli.Sync {
-					timeSum += float64(sum.Rounds)
-				} else {
-					timeSum += sum.TimeUnits
-				}
-				if sum.OK {
-					succ++
-				}
-			}
-			sm := stats.Summarize(msgs)
-			xs = append(xs, float64(n))
-			ys = append(ys, sm.Mean)
-			table.AddRow(k, n, sm.Mean, sm.Std, timeSum/float64(*seeds),
-				fmt.Sprintf("%d/%d", succ, *seeds))
+		for _, agg := range batch.Aggregates {
+			xs = append(xs, float64(agg.N))
+			ys = append(ys, agg.Messages.Mean)
+			table.AddRow(k, agg.N, agg.Messages.Mean, agg.Messages.Std, agg.Time.Mean,
+				fmt.Sprintf("%d/%d", agg.Successes, agg.Runs))
 		}
 		if len(ns) >= 2 {
 			if fit, err := stats.FitPower(xs, ys); err == nil {

@@ -4,10 +4,16 @@
 // construction of the paper, implemented on simulated synchronous and
 // asynchronous cliques under the KT0 clean-network model.
 //
-// The library lives under internal/ (this module is a research artifact, not
-// a dependency target); the entry points are:
+// The public entry point is the elect package — a registry of protocol
+// specs, a single Run over all three execution engines, and a parallel
+// batch runner:
 //
-//   - internal/core — the eleven protocols (Theorems 3.10, 3.15, 3.16, 4.1,
+//   - elect — public API: Registry/Lookup, Run with functional options,
+//     unified Result, RunMany worker-pool sweeps.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the protocols (Theorems 3.10, 3.15, 3.16, 4.1,
 //     5.1, 5.14 plus the [1], [14], [16] baselines).
 //   - internal/simsync, internal/simasync — deterministic clique engines.
 //   - internal/livenet — goroutine-per-node concurrent runtime.
@@ -17,6 +23,5 @@
 //   - cmd/elect, cmd/sweep, cmd/experiments, cmd/lowerbound — CLIs.
 //   - examples/ — runnable scenarios.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour and quickstart.
 package cliquelect

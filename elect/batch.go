@@ -1,0 +1,153 @@
+package elect
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cliquelect/internal/stats"
+)
+
+// Seeds returns count consecutive seeds starting at base — the usual seed
+// list for a Batch.
+func Seeds(base uint64, count int) []uint64 {
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
+
+// Batch describes a fan-out of one spec across network sizes and seeds.
+// Every (n, seed) pair becomes one independent Run.
+type Batch struct {
+	// Ns lists the network sizes to sweep; empty means {64}.
+	Ns []int
+	// Seeds lists the seeds run at every size; empty means {1}.
+	Seeds []uint64
+	// Options is the shared configuration applied to every run (parameters,
+	// wake policy, delays, engine, budget). WithN and WithSeed values set
+	// here are overridden by the batch's own Ns and Seeds.
+	Options []Option
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Summary holds summary statistics of one measurement across a batch.
+type Summary struct {
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+func newSummary(xs []float64) Summary {
+	s := stats.Summarize(xs)
+	return Summary{Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max, Median: s.Median}
+}
+
+// Aggregate summarizes all runs of one network size.
+type Aggregate struct {
+	N int
+	// Runs is the number of seeds executed at this size.
+	Runs int
+	// Successes counts runs that elected a valid unique leader (OK).
+	Successes int
+	// Messages summarizes the message complexity across seeds.
+	Messages Summary
+	// Time summarizes the time complexity across seeds: rounds on the sync
+	// engine, time units on the async simulator, zero on the live engine.
+	Time Summary
+}
+
+// BatchResult is the outcome of one RunMany.
+type BatchResult struct {
+	// Runs holds every per-seed Result in deterministic order: size-major,
+	// seed-minor (Runs[i*len(Seeds)+j] is size Ns[i] with seed Seeds[j]).
+	Runs []Result
+	// Aggregates holds one Aggregate per size, in Ns order.
+	Aggregates []Aggregate
+}
+
+// RunMany fans the batch's (size, seed) grid across a worker pool and
+// returns every per-seed result plus per-size aggregates. Each run is an
+// independent Run call, so on the deterministic engines the results are
+// byte-identical whatever the worker count — RunMany(…, Workers: 1) and
+// RunMany(…, Workers: 8) agree. The first run error aborts the batch.
+func RunMany(spec Spec, b Batch) (*BatchResult, error) {
+	ns := b.Ns
+	if len(ns) == 0 {
+		ns = []int{64}
+	}
+	seeds := b.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := len(ns) * len(seeds); workers > total {
+		workers = total
+	}
+
+	type job struct {
+		idx  int
+		n    int
+		seed uint64
+	}
+	jobs := make(chan job)
+	runs := make([]Result, len(ns)*len(seeds))
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				opts := make([]Option, 0, len(b.Options)+2)
+				opts = append(opts, b.Options...)
+				opts = append(opts, WithN(j.n), WithSeed(j.seed))
+				runs[j.idx], errs[j.idx] = Run(spec, opts...)
+			}
+		}()
+	}
+	for i, n := range ns {
+		for j, seed := range seeds {
+			jobs <- job{idx: i*len(seeds) + j, n: n, seed: seed}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("elect: run n=%d seed=%d: %w",
+				ns[idx/len(seeds)], seeds[idx%len(seeds)], err)
+		}
+	}
+
+	out := &BatchResult{Runs: runs, Aggregates: make([]Aggregate, 0, len(ns))}
+	for i, n := range ns {
+		agg := Aggregate{N: n, Runs: len(seeds)}
+		msgs := make([]float64, 0, len(seeds))
+		times := make([]float64, 0, len(seeds))
+		for j := range seeds {
+			r := runs[i*len(seeds)+j]
+			if r.OK {
+				agg.Successes++
+			}
+			msgs = append(msgs, float64(r.Messages))
+			if r.Engine == EngineSync {
+				times = append(times, float64(r.Rounds))
+			} else {
+				times = append(times, r.TimeUnits)
+			}
+		}
+		agg.Messages = newSummary(msgs)
+		agg.Time = newSummary(times)
+		out.Aggregates = append(out.Aggregates, agg)
+	}
+	return out, nil
+}

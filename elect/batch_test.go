@@ -1,0 +1,141 @@
+package elect
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRunManyParallelMatchesSerial is the batch determinism contract: 8+
+// seeds fanned across a worker pool produce byte-identical per-seed results
+// to serial execution.
+func TestRunManyParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"tradeoff", "lasvegas", "asynctradeoff"} {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := Batch{
+			Ns:    []int{32, 64},
+			Seeds: Seeds(100, 8),
+			Options: []Option{
+				WithParams(DefaultParams()),
+			},
+		}
+		serial := batch
+		serial.Workers = 1
+		parallel := batch
+		parallel.Workers = 8
+
+		a, err := RunMany(spec, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunMany(spec, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Runs) != 16 || len(b.Runs) != 16 {
+			t.Fatalf("%s: %d/%d runs, want 16", name, len(a.Runs), len(b.Runs))
+		}
+		for i := range a.Runs {
+			if !reflect.DeepEqual(a.Runs[i], b.Runs[i]) {
+				t.Fatalf("%s: run %d diverges between serial and parallel:\n%+v\nvs\n%+v",
+					name, i, a.Runs[i], b.Runs[i])
+			}
+			if got, want := fmt.Sprintf("%#v", a.Runs[i]), fmt.Sprintf("%#v", b.Runs[i]); got != want {
+				t.Fatalf("%s: run %d not byte-identical", name, i)
+			}
+		}
+		if !reflect.DeepEqual(a.Aggregates, b.Aggregates) {
+			t.Fatalf("%s: aggregates diverge", name)
+		}
+	}
+}
+
+func TestRunManyOrderingAndAggregates(t *testing.T) {
+	spec, err := Lookup("tradeoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := []int{16, 32, 64}
+	seeds := Seeds(7, 8)
+	out, err := RunMany(spec, Batch{Ns: ns, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != len(ns)*len(seeds) {
+		t.Fatalf("%d runs", len(out.Runs))
+	}
+	for i, n := range ns {
+		for j, seed := range seeds {
+			r := out.Runs[i*len(seeds)+j]
+			if r.N != n || r.Seed != seed {
+				t.Fatalf("run[%d,%d] is n=%d seed=%d, want n=%d seed=%d",
+					i, j, r.N, r.Seed, n, seed)
+			}
+			if !r.OK {
+				t.Fatalf("deterministic run n=%d seed=%d failed", n, seed)
+			}
+		}
+	}
+	if len(out.Aggregates) != len(ns) {
+		t.Fatalf("%d aggregates", len(out.Aggregates))
+	}
+	prev := 0.0
+	for i, agg := range out.Aggregates {
+		if agg.N != ns[i] || agg.Runs != len(seeds) || agg.Successes != len(seeds) {
+			t.Fatalf("aggregate %d: %+v", i, agg)
+		}
+		if agg.Messages.Mean <= prev {
+			t.Fatalf("message mean not increasing with n: %v", out.Aggregates)
+		}
+		prev = agg.Messages.Mean
+		if agg.Time.Mean != 3 { // tradeoff k=3: 2k-3 = 3 rounds exactly
+			t.Fatalf("n=%d: mean rounds = %v, want 3", agg.N, agg.Time.Mean)
+		}
+		if agg.Messages.Min > agg.Messages.Median || agg.Messages.Median > agg.Messages.Max {
+			t.Fatalf("summary ordering broken: %+v", agg.Messages)
+		}
+	}
+}
+
+func TestRunManyDefaultsAndErrors(t *testing.T) {
+	spec, err := Lookup("tradeoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunMany(spec, Batch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 1 || out.Runs[0].N != 64 || out.Runs[0].Seed != 1 {
+		t.Fatalf("defaults: %+v", out.Runs)
+	}
+	// Batch options override-ability: the batch grid wins over WithN/WithSeed
+	// in Options.
+	out, err = RunMany(spec, Batch{
+		Ns: []int{32}, Seeds: []uint64{9},
+		Options: []Option{WithN(1000), WithSeed(1000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Runs[0].N != 32 || out.Runs[0].Seed != 9 {
+		t.Fatalf("grid did not override options: %+v", out.Runs[0])
+	}
+	// A bad parameter surfaces as an error naming the failing run.
+	if _, err := RunMany(spec, Batch{Options: []Option{WithParams(Params{K: 1})}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(5, 3)
+	if len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Fatalf("Seeds(5,3) = %v", got)
+	}
+	if len(Seeds(0, 0)) != 0 {
+		t.Fatal("Seeds(0,0) not empty")
+	}
+}

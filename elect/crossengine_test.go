@@ -1,0 +1,64 @@
+package elect
+
+import "testing"
+
+// TestCrossEngineAgreement runs every asynchronous protocol on both the
+// deterministic event-queue simulator and the goroutine-per-node live
+// runtime with the same spec and seed, and checks that both engines elect a
+// valid unique leader. Deterministic protocols must succeed on every seed on
+// both engines; randomized ones get a small failure budget on the live
+// engine (real interleavings can defeat a Monte Carlo run, exactly as the
+// paper's probabilistic guarantees allow) but must still agree with the
+// simulator on most seeds.
+func TestCrossEngineAgreement(t *testing.T) {
+	const seedCount = 5
+	for _, spec := range Registry() {
+		if spec.Model != Async {
+			continue
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := []Option{WithN(48), WithParams(DefaultParams())}
+			if spec.Name == "asynctradeoff" || spec.Name == "asynclinear" {
+				opts = append(opts, WithWake(1)) // adversarial wake-up model
+			}
+			bothOK := 0
+			for seed := uint64(1); seed <= seedCount; seed++ {
+				sim, err := Run(spec, append(opts, WithSeed(seed), WithEngine(EngineAsync))...)
+				if err != nil {
+					t.Fatalf("seed %d sim: %v", seed, err)
+				}
+				live, err := Run(spec, append(opts, WithSeed(seed), WithEngine(EngineLive))...)
+				if err != nil {
+					t.Fatalf("seed %d live: %v", seed, err)
+				}
+				if sim.OK && sim.Leader < 0 || live.OK && live.Leader < 0 {
+					t.Fatalf("seed %d: OK without a unique leader (sim %d, live %d)",
+						seed, sim.Leader, live.Leader)
+				}
+				if spec.Deterministic {
+					// No failure budget at all: both engines must elect, and
+					// because both draw the same ID assignment from the seed
+					// and flip no coins, engine choice must not change the
+					// validity of the election.
+					if !sim.OK {
+						t.Fatalf("seed %d: deterministic simulator run failed: %+v", seed, sim)
+					}
+					if !live.OK {
+						t.Fatalf("seed %d: deterministic live run failed: %+v", seed, live)
+					}
+				}
+				if sim.OK && live.OK {
+					bothOK++
+				}
+			}
+			// Randomized protocols may lose an occasional live run to a hostile
+			// interleaving; they may not lose most of them.
+			if bothOK < seedCount-1 {
+				t.Fatalf("only %d/%d seeds elected a valid unique leader on both engines",
+					bothOK, seedCount)
+			}
+		})
+	}
+}

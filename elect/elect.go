@@ -1,0 +1,294 @@
+// Package elect is the public entry point of cliquelect: one API over every
+// leader-election protocol of "Improved Tradeoffs for Leader Election"
+// (Kutten, Robinson, Tan, Zhu; PODC 2023) and over all three execution
+// engines in this repository.
+//
+// The package exposes a registry of protocol Specs with capability metadata
+// (timing model, determinism, ID-space requirements, parameter validation),
+// a single Run entry point configured with functional options, and a
+// worker-pool batch runner RunMany for multi-seed / multi-size sweeps.
+// Callers never touch the engine packages directly:
+//
+//	spec, _ := elect.Lookup("tradeoff")
+//	res, err := elect.Run(spec, elect.WithN(1024), elect.WithParams(elect.Params{K: 4}))
+//
+//	batch, err := elect.RunMany(spec, elect.Batch{
+//		Ns:    []int{256, 512, 1024},
+//		Seeds: elect.Seeds(1, 16),
+//	})
+//
+// Engines: EngineSync is the deterministic lock-step simulator (synchronous
+// protocols), EngineAsync is the deterministic event-queue simulator
+// (asynchronous protocols), and EngineLive runs asynchronous protocols on a
+// goroutine-per-node concurrent runtime with real (nondeterministic)
+// interleavings. Given the same Spec, options and seed, EngineSync and
+// EngineAsync reproduce byte-identical results.
+package elect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cliquelect/internal/core"
+	"cliquelect/internal/simasync"
+	"cliquelect/internal/simsync"
+)
+
+// Model distinguishes the two network timing models of the paper.
+type Model int
+
+// Models.
+const (
+	Sync Model = iota + 1
+	Async
+)
+
+func (m Model) String() string {
+	if m == Async {
+		return "async"
+	}
+	return "sync"
+}
+
+// Engine selects the execution substrate for a run.
+type Engine int
+
+// Engines.
+const (
+	// EngineAuto picks the natural engine for the spec's model: EngineSync
+	// for synchronous protocols, EngineAsync for asynchronous ones.
+	EngineAuto Engine = iota
+	// EngineSync is the deterministic lock-step round simulator.
+	EngineSync
+	// EngineAsync is the deterministic event-queue simulator with
+	// adversarial message delays.
+	EngineAsync
+	// EngineLive runs asynchronous protocols on one goroutine per node with
+	// genuine concurrent interleavings. It is intentionally nondeterministic
+	// and does not measure time.
+	EngineLive
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSync:
+		return "sync"
+	case EngineAsync:
+		return "async"
+	case EngineLive:
+		return "live"
+	}
+	return "auto"
+}
+
+// Params carries every tunable any registered protocol accepts; fields not
+// used by a protocol are ignored by it.
+type Params struct {
+	K   int     // tradeoff parameter (tradeoff, afekgafni, spreadelect, asynctradeoff)
+	D   int     // smallid window parameter
+	G   int     // smallid universe slack g(n)
+	Eps float64 // advwake failure budget
+}
+
+// DefaultParams returns sensible defaults: K=3, D=2, G=1, Eps=1/16.
+func DefaultParams() Params {
+	return Params{K: 3, D: 2, G: 1, Eps: 1.0 / 16}
+}
+
+// Spec describes one registered protocol: its identity, the paper result it
+// implements, and its capability metadata. Specs are obtained from Registry
+// or Lookup; the zero Spec is invalid.
+type Spec struct {
+	Name        string
+	Model       Model
+	Paper       string // which paper result it implements
+	Description string
+	// SmallIDSpace marks protocols that require IDs from the linear-size
+	// universe {1..n·g} (Theorem 3.15); all others use the Θ(n log n)
+	// universe of Theorem 3.8.
+	SmallIDSpace bool
+	// Deterministic marks protocols with no coin flips: same IDs and port
+	// mapping always elect the same leader.
+	Deterministic bool
+
+	buildSync  func(p Params) (simsync.Factory, error)
+	buildAsync func(n int, p Params) (simasync.Factory, error)
+}
+
+// Engines returns the engines this spec can run on.
+func (s Spec) Engines() []Engine {
+	if s.Model == Sync {
+		return []Engine{EngineSync}
+	}
+	return []Engine{EngineAsync, EngineLive}
+}
+
+// Supports reports whether the spec can run on the given engine.
+// EngineAuto is supported by every valid spec.
+func (s Spec) Supports(e Engine) bool {
+	if e == EngineAuto {
+		return s.Model != 0
+	}
+	for _, have := range s.Engines() {
+		if have == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the parameters against the spec without running anything.
+func (s Spec) Validate(p Params) error {
+	switch {
+	case s.Model == Sync && s.buildSync != nil:
+		_, err := s.buildSync(p)
+		return err
+	case s.Model == Async && s.buildAsync != nil:
+		_, err := s.buildAsync(2, p)
+		return err
+	}
+	return fmt.Errorf("elect: spec %q was not obtained from the registry (use Lookup or Registry)", s.Name)
+}
+
+// registry is ordered for stable listings.
+var registry = []Spec{
+	{
+		Name: "tradeoff", Model: Sync, Paper: "Theorem 3.10", Deterministic: true,
+		Description: "improved deterministic tradeoff: 2k-3 rounds, O(k·n^{1+1/(k-1)}) msgs",
+		buildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateTradeoffK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewTradeoff(p.K), nil
+		},
+	},
+	{
+		Name: "afekgafni", Model: Sync, Paper: "Afek-Gafni [1] baseline", Deterministic: true,
+		Description: "classic deterministic tradeoff: 2k rounds, O(k·n^{1+1/k}) msgs",
+		buildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateAfekGafniK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewAfekGafni(p.K), nil
+		},
+	},
+	{
+		Name: "smallid", Model: Sync, Paper: "Theorem 3.15 / Algorithm 1", Deterministic: true,
+		SmallIDSpace: true,
+		Description:  "small-ID-universe scan: ceil(n/d) rounds, <= n·d·g msgs",
+		buildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateSmallID(p.D, p.G); err != nil {
+				return nil, err
+			}
+			return core.NewSmallID(p.D, p.G), nil
+		},
+	},
+	{
+		Name: "lasvegas", Model: Sync, Paper: "Theorem 3.16",
+		Description: "Las Vegas: 3 rounds and O(n) msgs w.h.p., never wrong",
+		buildSync: func(Params) (simsync.Factory, error) {
+			return core.NewLasVegas(), nil
+		},
+	},
+	{
+		Name: "sublinear", Model: Sync, Paper: "Kutten et al. [16] baseline",
+		Description: "Monte Carlo: 2 rounds, O(sqrt(n)·log^{3/2} n) msgs, fails with o(1) prob.",
+		buildSync: func(Params) (simsync.Factory, error) {
+			return core.NewSublinear(), nil
+		},
+	},
+	{
+		Name: "advwake", Model: Sync, Paper: "Theorem 4.1",
+		Description: "adversarial wake-up: 2 rounds, O(n^{3/2}·log(1/eps)) msgs",
+		buildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateEps(p.Eps); err != nil {
+				return nil, err
+			}
+			return core.NewAdvWake2Round(p.Eps), nil
+		},
+	},
+	{
+		Name: "spreadelect", Model: Sync, Paper: "substituted [14]-style baseline",
+		Description: "adversarial wake-up: k+5 rounds, O(n^{1+1/k}+n) msgs",
+		buildSync: func(p Params) (simsync.Factory, error) {
+			if err := core.ValidateSpreadK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewSpreadElect(p.K), nil
+		},
+	},
+	{
+		Name: "asynctradeoff", Model: Async, Paper: "Theorem 5.1 / Algorithm 2",
+		Description: "async tradeoff: k+8 time units, O(n^{1+1/k}) msgs",
+		buildAsync: func(_ int, p Params) (simasync.Factory, error) {
+			if err := core.ValidateAsyncK(p.K); err != nil {
+				return nil, err
+			}
+			return core.NewAsyncTradeoff(p.K), nil
+		},
+	},
+	{
+		Name: "asyncafekgafni", Model: Async, Paper: "Theorem 5.14 / Section 5.4", Deterministic: true,
+		Description: "asynchronized Afek-Gafni: O(log n) time, O(n log n) msgs, simultaneous wake-up",
+		buildAsync: func(int, Params) (simasync.Factory, error) {
+			return core.NewAsyncAfekGafni(), nil
+		},
+	},
+	{
+		Name: "asynclinear", Model: Async, Paper: "substituted [14]-style async baseline",
+		Description: "near-linear msgs at k=Theta(log n/log log n): O(n log n) msgs, O(log n) time",
+		buildAsync: func(n int, _ Params) (simasync.Factory, error) {
+			return core.NewAsyncLinear(n), nil
+		},
+	},
+}
+
+// Registry returns the registered protocol specs in registry order.
+func Registry() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns all registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a protocol by name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("elect: unknown algorithm %q (have: %s)", name, strings.Join(Names(), ", "))
+}
+
+// ParseEngine resolves an engine name (as used by CLI flags): "auto", "sync",
+// "async" or "live"; the empty string means EngineAuto. It is the inverse of
+// Engine.String.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "sync":
+		return EngineSync, nil
+	case "async":
+		return EngineAsync, nil
+	case "live":
+		return EngineLive, nil
+	}
+	return EngineAuto, fmt.Errorf("elect: unknown engine %q (auto, sync, async, live)", name)
+}
+
+// NearLinearK returns the k = Θ(log n / log log n) parameter at which the
+// asynchronous tradeoff of Theorem 5.1 reaches its near-linear-message
+// extreme — the parameter the "asynclinear" spec derives internally.
+func NearLinearK(n int) int { return core.AsyncLinearK(n) }

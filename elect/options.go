@@ -1,0 +1,111 @@
+package elect
+
+import "fmt"
+
+// DelayProfile names an adversarial delay scheduler for the asynchronous
+// simulator. The live engine ignores delays: its schedule is whatever the Go
+// runtime produces.
+type DelayProfile string
+
+// Delay profiles.
+const (
+	// DelayUnit delivers every message after exactly one time unit — the
+	// synchronous-like worst case (the default).
+	DelayUnit DelayProfile = "unit"
+	// DelayUniform draws each delay uniformly from [0.05, 1].
+	DelayUniform DelayProfile = "uniform"
+	// DelaySkew makes every third sender slow (delay 1) and the rest fast.
+	DelaySkew DelayProfile = "skew"
+)
+
+// ParseDelays resolves a delay-profile name (as used by CLI flags). The
+// empty string means DelayUnit.
+func ParseDelays(name string) (DelayProfile, error) {
+	switch DelayProfile(name) {
+	case "", DelayUnit:
+		return DelayUnit, nil
+	case DelayUniform:
+		return DelayUniform, nil
+	case DelaySkew:
+		return DelaySkew, nil
+	}
+	return "", fmt.Errorf("elect: unknown delay profile %q (unit, uniform, skew)", name)
+}
+
+// runConfig is the resolved option set of one Run.
+type runConfig struct {
+	n         int
+	seed      uint64
+	params    Params
+	ids       []int64
+	wakeCount int
+	wakeSet   []int
+	delays    DelayProfile
+	delaysSet bool
+	engine    Engine
+	trace     bool
+	budget    int64
+	explicit  bool
+}
+
+// Option configures a Run (and, through Batch.Options, a RunMany).
+type Option func(*runConfig)
+
+// WithN sets the number of nodes. The default is 64.
+func WithN(n int) Option { return func(c *runConfig) { c.n = n } }
+
+// WithSeed sets the master seed that drives ID assignment, wake-set
+// sampling, the engines' port mappings and every protocol coin flip. On the
+// deterministic engines, identical seeds reproduce identical executions.
+func WithSeed(seed uint64) Option { return func(c *runConfig) { c.seed = seed } }
+
+// WithParams sets the protocol parameters (see DefaultParams).
+func WithParams(p Params) Option { return func(c *runConfig) { c.params = p } }
+
+// WithIDs supplies an explicit ID assignment (node i gets ids[i]) instead of
+// the seed-derived random assignment from the spec's required universe. The
+// assignment length must equal n and the IDs must be distinct.
+func WithIDs(ids []int64) Option {
+	return func(c *runConfig) { c.ids = append([]int64(nil), ids...) }
+}
+
+// WithWake makes the adversary wake only count random nodes (sampled from
+// the seed) instead of all n; 0 restores simultaneous wake-up.
+func WithWake(count int) Option { return func(c *runConfig) { c.wakeCount = count } }
+
+// WithWakeSet makes the adversary wake exactly the given nodes. It overrides
+// WithWake.
+func WithWakeSet(nodes []int) Option {
+	return func(c *runConfig) { c.wakeSet = append(make([]int, 0, len(nodes)), nodes...) }
+}
+
+// WithDelays selects the asynchronous simulator's delay scheduler. It is an
+// error on the sync engine; the live engine ignores it.
+func WithDelays(p DelayProfile) Option {
+	return func(c *runConfig) { c.delays = p; c.delaysSet = true }
+}
+
+// WithEngine pins the execution engine; the default EngineAuto picks the
+// spec model's natural simulator. It is an error to pin an engine the spec
+// does not support (see Spec.Engines).
+func WithEngine(e Engine) Option { return func(c *runConfig) { c.engine = e } }
+
+// WithTrace records the run's communication graph (Definition 3.1) and
+// attaches a TraceSummary to the Result. Only the sync engine supports
+// tracing; it costs extra memory.
+func WithTrace() Option { return func(c *runConfig) { c.trace = true } }
+
+// WithMessageBudget aborts the run once it has sent the given number of
+// messages; a truncated run reports Truncated=true and OK=false. 0 means the
+// engine's default runaway cap only. The synchronous engine checks the
+// budget at round boundaries, so the final round may overshoot it — and a
+// run that reaches quiescence inside that overshooting round completes
+// normally (Truncated=false) even though Messages exceeds the budget.
+func WithMessageBudget(messages int64) Option {
+	return func(c *runConfig) { c.budget = messages }
+}
+
+// WithExplicit wraps a synchronous protocol in the explicit-election
+// transformation (every node outputs the leader's ID; +1 round, +n-1
+// messages). It is an error on asynchronous specs.
+func WithExplicit() Option { return func(c *runConfig) { c.explicit = true } }

@@ -1,0 +1,387 @@
+package elect
+
+import (
+	"fmt"
+	"strings"
+
+	"cliquelect/internal/core"
+	"cliquelect/internal/ids"
+	"cliquelect/internal/livenet"
+	"cliquelect/internal/proto"
+	"cliquelect/internal/simasync"
+	"cliquelect/internal/simsync"
+	"cliquelect/internal/trace"
+	"cliquelect/internal/xrand"
+)
+
+// Decision is a node's irrevocable leader-election output.
+type Decision uint8
+
+// Decisions.
+const (
+	Undecided Decision = iota
+	Leader
+	NonLeader
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Leader:
+		return "leader"
+	case NonLeader:
+		return "non-leader"
+	}
+	return "undecided"
+}
+
+// TraceSummary condenses the communication graph (Definition 3.1) of a
+// traced run: the quantities the paper's lower-bound machinery reasons
+// about.
+type TraceSummary struct {
+	// Edges is the number of distinct directed (sender, receiver) pairs.
+	Edges int
+	// MaxComponent is the size of the largest weakly connected component.
+	MaxComponent int
+	// Components is the number of weakly connected components.
+	Components int
+	// PortOpens is the total number of first-use port events (Lemma 3.13's
+	// census quantity).
+	PortOpens int
+}
+
+// Result is the unified outcome of one Run, regardless of engine. Fields
+// that a given engine does not measure stay zero: Rounds and PerRound are
+// sync-only, TimeUnits is async-simulator-only, and the live engine reports
+// neither time nor Words.
+type Result struct {
+	Algorithm string
+	Model     Model
+	Engine    Engine
+	N         int
+	Seed      uint64
+	// IDs is the ID assignment the run used (node i had ID IDs[i]).
+	IDs []int64
+	// Leader is the elected node index, or -1 if the run did not elect a
+	// unique leader.
+	Leader   int
+	LeaderID int64
+	// Messages is the paper's message complexity: total messages sent.
+	Messages int64
+	// Words is the CONGEST payload volume in O(log n)-bit words (not
+	// measured by the live engine).
+	Words int64
+	// Rounds is the synchronous time complexity (sync engine only).
+	Rounds int
+	// PerRound[r] is the number of messages sent in round r (sync engine
+	// only; index 0 unused).
+	PerRound []int64
+	// TimeUnits is the asynchronous time complexity (async engine only).
+	TimeUnits float64
+	// Decisions holds each node's final output.
+	Decisions []Decision
+	// AllAwake reports whether every node was activated during the run.
+	AllAwake bool
+	// Truncated reports that the run hit its message budget (or, on the live
+	// engine, the message cap) before quiescence.
+	Truncated bool
+	// TimedOut reports that the run hit the engine's runaway cap (rounds or
+	// events) before quiescence.
+	TimedOut bool
+	// OK reports a valid implicit election: exactly one leader, every awake
+	// node decided, no truncation.
+	OK bool
+	// Trace is the communication-graph summary when WithTrace was set.
+	Trace *TraceSummary
+}
+
+// String renders a human-readable one-line-per-field summary.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm : %s (%s model, %s engine)\n", r.Algorithm, r.Model, r.Engine)
+	fmt.Fprintf(&b, "nodes     : %d\n", r.N)
+	if r.Leader >= 0 {
+		fmt.Fprintf(&b, "leader    : node %d (ID %d)\n", r.Leader, r.LeaderID)
+	} else {
+		fmt.Fprintf(&b, "leader    : NONE (failed run)\n")
+	}
+	fmt.Fprintf(&b, "messages  : %d\n", r.Messages)
+	switch r.Engine {
+	case EngineSync:
+		fmt.Fprintf(&b, "rounds    : %d\n", r.Rounds)
+	case EngineAsync:
+		fmt.Fprintf(&b, "time      : %.2f units\n", r.TimeUnits)
+	}
+	fmt.Fprintf(&b, "all awake : %v\n", r.AllAwake)
+	fmt.Fprintf(&b, "valid     : %v\n", r.OK)
+	return b.String()
+}
+
+// Run executes one protocol under the given options and returns the unified
+// result. Configuration errors (bad parameters, unsupported engine/option
+// combinations) return a non-nil error; a run that merely fails to elect a
+// unique leader returns OK=false.
+func Run(spec Spec, opts ...Option) (Result, error) {
+	cfg := runConfig{n: 64, engine: EngineAuto, delays: DelayUnit, params: DefaultParams()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	res := Result{
+		Algorithm: spec.Name, Model: spec.Model, N: cfg.n, Seed: cfg.seed, Leader: -1,
+	}
+	if cfg.n < 1 {
+		return res, fmt.Errorf("elect: n = %d", cfg.n)
+	}
+	switch {
+	case spec.Model == Sync && spec.buildSync != nil:
+	case spec.Model == Async && spec.buildAsync != nil:
+	default:
+		return res, fmt.Errorf("elect: spec %q was not obtained from the registry (use Lookup or Registry)", spec.Name)
+	}
+	engine := cfg.engine
+	if engine == EngineAuto {
+		if spec.Model == Async {
+			engine = EngineAsync
+		} else {
+			engine = EngineSync
+		}
+	}
+	res.Engine = engine
+	if !spec.Supports(engine) {
+		return res, fmt.Errorf("elect: %s runs on the %s model, not on the %s engine",
+			spec.Name, spec.Model, engine)
+	}
+	if cfg.trace && engine != EngineSync {
+		return res, fmt.Errorf("elect: WithTrace requires the sync engine (got %s)", engine)
+	}
+	if cfg.delaysSet && engine == EngineSync {
+		return res, fmt.Errorf("elect: WithDelays has no effect on the sync engine")
+	}
+	if cfg.explicit && spec.Model != Sync {
+		return res, fmt.Errorf("elect: WithExplicit requires a synchronous spec (got %s)", spec.Name)
+	}
+
+	rng := xrand.New(cfg.seed)
+	assign, err := makeIDs(spec, cfg, rng)
+	if err != nil {
+		return res, err
+	}
+	res.IDs = append([]int64(nil), assign...)
+
+	switch engine {
+	case EngineSync:
+		err = runSync(spec, cfg, assign, rng, &res)
+	case EngineAsync:
+		err = runAsync(spec, cfg, assign, rng, &res)
+	case EngineLive:
+		err = runLive(spec, cfg, assign, rng, &res)
+	}
+	if err != nil {
+		return res, err
+	}
+	if res.Leader >= 0 {
+		res.LeaderID = assign[res.Leader]
+	}
+	return res, nil
+}
+
+// makeIDs builds (or validates) the ID assignment the spec expects.
+func makeIDs(spec Spec, cfg runConfig, rng *xrand.RNG) (ids.Assignment, error) {
+	universe := ids.LogUniverse(cfg.n)
+	if spec.SmallIDSpace {
+		universe = ids.LinearUniverse(cfg.n, cfg.params.G)
+	}
+	if cfg.ids != nil {
+		assign := make(ids.Assignment, len(cfg.ids))
+		for i, id := range cfg.ids {
+			assign[i] = id
+		}
+		if len(assign) != cfg.n {
+			return nil, fmt.Errorf("elect: %d IDs for %d nodes", len(assign), cfg.n)
+		}
+		if err := assign.Validate(universe); err != nil {
+			return nil, err
+		}
+		return assign, nil
+	}
+	return ids.Random(universe, cfg.n, rng), nil
+}
+
+// wakeNodes resolves the adversarial wake set, or nil for simultaneous
+// wake-up. It consumes rng only when sampling is needed.
+func wakeNodes(cfg runConfig, rng *xrand.RNG) ([]int, error) {
+	if cfg.wakeSet != nil {
+		if len(cfg.wakeSet) == 0 {
+			return nil, fmt.Errorf("elect: empty wake set")
+		}
+		for _, u := range cfg.wakeSet {
+			if u < 0 || u >= cfg.n {
+				return nil, fmt.Errorf("elect: wake set names invalid node %d", u)
+			}
+		}
+		return cfg.wakeSet, nil
+	}
+	if cfg.wakeCount > 0 {
+		return rng.Sample(cfg.n, min(cfg.wakeCount, cfg.n)), nil
+	}
+	return nil, nil
+}
+
+func runSync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, res *Result) error {
+	factory, err := spec.buildSync(cfg.params)
+	if err != nil {
+		return err
+	}
+	if cfg.explicit {
+		factory = core.NewExplicit(factory)
+	}
+	wset, err := wakeNodes(cfg, rng)
+	if err != nil {
+		return err
+	}
+	var wake simsync.WakePolicy = simsync.Simultaneous{}
+	if wset != nil {
+		wake = simsync.AdversarialSet{Nodes: wset}
+	}
+	var rec *trace.Recorder
+	if cfg.trace {
+		rec = trace.NewRecorder(cfg.n)
+	}
+	out, err := simsync.Run(simsync.Config{
+		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Wake: wake,
+		MaxMessages: cfg.budget, Trace: rec,
+	}, factory)
+	if err != nil {
+		return err
+	}
+	res.Messages = out.Messages
+	res.Words = out.Words
+	res.Rounds = out.Rounds
+	res.PerRound = out.PerRound
+	res.Decisions = decisions(out.Decisions)
+	res.AllAwake = out.AllAwake()
+	res.Truncated = out.Truncated
+	res.TimedOut = out.TimedOut
+	res.Leader = out.UniqueLeader()
+	res.OK = out.Validate() == nil
+	if rec != nil {
+		res.Trace = &TraceSummary{
+			Edges:        rec.TotalEdges(),
+			MaxComponent: rec.MaxComponent(),
+			Components:   rec.NumComponents(),
+			PortOpens:    rec.TotalPortOpens(),
+		}
+	}
+	return nil
+}
+
+func runAsync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, res *Result) error {
+	factory, err := spec.buildAsync(cfg.n, cfg.params)
+	if err != nil {
+		return err
+	}
+	policy, err := delayPolicy(cfg.delays)
+	if err != nil {
+		return err
+	}
+	wset, err := wakeNodes(cfg, rng)
+	if err != nil {
+		return err
+	}
+	wake := simasync.AllAtZero(cfg.n)
+	if wset != nil {
+		wake = simasync.SubsetAtZero(wset)
+	}
+	out, err := simasync.Run(simasync.Config{
+		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Delays: policy, Wake: wake,
+		MaxMessages: cfg.budget,
+	}, factory)
+	if err != nil {
+		return err
+	}
+	res.Messages = out.Messages
+	res.Words = out.Words
+	res.TimeUnits = out.TimeUnits
+	res.Decisions = decisions(out.Decisions)
+	res.AllAwake = out.AllAwake()
+	res.Truncated = out.Truncated
+	res.TimedOut = out.TimedOut
+	res.Leader = out.UniqueLeader()
+	res.OK = out.Validate() == nil
+	return nil
+}
+
+func runLive(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, res *Result) error {
+	factory, err := spec.buildAsync(cfg.n, cfg.params)
+	if err != nil {
+		return err
+	}
+	wset, err := wakeNodes(cfg, rng)
+	if err != nil {
+		return err
+	}
+	if wset == nil {
+		wset = make([]int, cfg.n)
+		for i := range wset {
+			wset[i] = i
+		}
+	}
+	out, err := livenet.Run(livenet.Config{
+		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Wake: wset,
+		MaxMessages: cfg.budget,
+	}, factory)
+	if err != nil {
+		return err
+	}
+	res.Messages = out.Messages
+	res.Decisions = decisions(out.Decisions)
+	res.AllAwake = allTrue(out.Awake)
+	res.Truncated = out.Truncated
+	res.Leader = uniqueLeader(out.Decisions)
+	res.OK = out.Validate() == nil
+	return nil
+}
+
+func delayPolicy(p DelayProfile) (simasync.DelayPolicy, error) {
+	p, err := ParseDelays(string(p)) // single place that validates names
+	if err != nil {
+		return nil, err
+	}
+	switch p {
+	case DelayUniform:
+		return simasync.UniformDelay{Lo: 0.05}, nil
+	case DelaySkew:
+		return simasync.SkewDelay{Fast: 0.05, Mod: 3}, nil
+	}
+	return simasync.UnitDelay{}, nil
+}
+
+func decisions(in []proto.Decision) []Decision {
+	out := make([]Decision, len(in))
+	for i, d := range in {
+		out[i] = Decision(d)
+	}
+	return out
+}
+
+func uniqueLeader(in []proto.Decision) int {
+	leader := -1
+	for u, d := range in {
+		if d == proto.Leader {
+			if leader >= 0 {
+				return -1
+			}
+			leader = u
+		}
+	}
+	return leader
+}
+
+func allTrue(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}

@@ -12,12 +12,9 @@ import (
 	"fmt"
 	"log"
 
-	"cliquelect/internal/core"
-	"cliquelect/internal/ids"
+	"cliquelect/elect"
 	"cliquelect/internal/lowerbound"
-	"cliquelect/internal/simsync"
 	"cliquelect/internal/stats"
-	"cliquelect/internal/xrand"
 )
 
 func main() {
@@ -26,8 +23,12 @@ func main() {
 	flag.Parse()
 
 	// First measure the victim's own message budget f = messages/n.
-	assign := ids.Random(ids.LogUniverse(*n), *n, xrand.New(3))
-	plain, err := simsync.Run(simsync.Config{N: *n, IDs: assign, Seed: 1}, core.NewTradeoff(*k))
+	spec, err := elect.Lookup("tradeoff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := elect.Run(spec,
+		elect.WithN(*n), elect.WithSeed(3), elect.WithParams(elect.Params{K: *k}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func main() {
 	fmt.Printf("victim: Theorem 3.10 algorithm, k=%d (%d rounds), f = msgs/n = %.1f\n",
 		*k, plain.Rounds, f)
 
-	game, err := lowerbound.ComponentGame(*n, f, core.NewTradeoff(*k), 99)
+	game, err := lowerbound.ComponentGame(*n, f, lowerbound.TradeoffVictim(*k), 99)
 	if err != nil {
 		log.Fatal(err)
 	}

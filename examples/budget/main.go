@@ -2,7 +2,8 @@
 // resource-constrained networks (messages and time both cost energy). This
 // example is a planner: given a message budget per election, pick the
 // fastest algorithm/parameter combination that honors it, then demonstrate
-// the choice on a simulated clique.
+// the choice on a simulated clique — enforcing the budget with
+// elect.WithMessageBudget.
 //
 //	go run ./examples/budget -n 4096 -budget 100000
 package main
@@ -13,14 +14,14 @@ import (
 	"log"
 	"math"
 
-	"cliquelect/internal/cli"
+	"cliquelect/elect"
 	"cliquelect/internal/stats"
 )
 
 // plan is one candidate configuration with its predicted cost.
 type plan struct {
 	algo      string
-	params    cli.Params
+	params    elect.Params
 	rounds    float64 // predicted time (rounds or time units)
 	predicted float64 // predicted messages
 }
@@ -35,19 +36,19 @@ func main() {
 	// Deterministic tradeoff (Theorem 3.10): k >= 3.
 	for k := 3; k <= 8; k++ {
 		plans = append(plans, plan{
-			algo: "tradeoff", params: cli.Params{K: k},
+			algo: "tradeoff", params: elect.Params{K: k},
 			rounds:    float64(2*k - 3),
 			predicted: 2.5 * float64(k) * math.Pow(fn, 1+1/float64(k-1)),
 		})
 	}
 	// Las Vegas (Theorem 3.16): 3 rounds, ~4n messages.
 	plans = append(plans, plan{
-		algo: "lasvegas", params: cli.Params{},
+		algo: "lasvegas", params: elect.Params{},
 		rounds: 3, predicted: 4 * fn,
 	})
 	// Monte Carlo [16]: 2 rounds, ~2·sqrt(n)·ln^{1.5} n messages.
 	plans = append(plans, plan{
-		algo: "sublinear", params: cli.Params{},
+		algo: "sublinear", params: elect.Params{},
 		rounds: 2, predicted: 2 * math.Sqrt(fn) * math.Pow(math.Log(fn), 1.5),
 	})
 
@@ -70,22 +71,27 @@ func main() {
 	}
 	fmt.Printf("\nchosen: %s (k=%d) — now validating on a simulated clique\n\n", best.algo, best.params.K)
 
-	spec, err := cli.Lookup(best.algo)
+	spec, err := elect.Lookup(best.algo)
 	if err != nil {
 		log.Fatal(err)
 	}
 	params := best.params
 	if params.K == 0 {
-		params = cli.DefaultParams()
+		params = elect.DefaultParams()
 	}
-	sum, err := cli.Run(spec, cli.RunOpts{N: *n, Seed: 11, Params: params})
+	res, err := elect.Run(spec,
+		elect.WithN(*n), elect.WithSeed(11), elect.WithParams(params),
+		elect.WithMessageBudget(int64(*budget)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(sum)
-	if float64(sum.Messages) > *budget {
-		fmt.Printf("NOTE: measured %d messages exceeded the budget — predictions are asymptotic\n", sum.Messages)
-	} else {
-		fmt.Printf("budget honored: %d <= %.0f\n", sum.Messages, *budget)
+	fmt.Print(res)
+	switch {
+	case res.Truncated:
+		fmt.Printf("NOTE: the budget truncated the run after %d messages — predictions are asymptotic\n", res.Messages)
+	case float64(res.Messages) > *budget:
+		fmt.Printf("NOTE: measured %d messages exceeded the budget — predictions are asymptotic\n", res.Messages)
+	default:
+		fmt.Printf("budget honored: %d <= %.0f\n", res.Messages, *budget)
 	}
 }

@@ -1,5 +1,6 @@
 // Quickstart: elect a leader on a 1024-node synchronous clique with the
-// paper's improved deterministic tradeoff algorithm (Theorem 3.10).
+// paper's improved deterministic tradeoff algorithm (Theorem 3.10), through
+// the public elect API.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,10 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"cliquelect/internal/core"
-	"cliquelect/internal/ids"
-	"cliquelect/internal/simsync"
-	"cliquelect/internal/xrand"
+	"cliquelect/elect"
 )
 
 func main() {
@@ -20,27 +18,28 @@ func main() {
 		k = 4    // tradeoff parameter: 2k-3 = 5 rounds
 	)
 
-	// Nodes get unique IDs from the Theta(n log n)-sized universe the paper
-	// assumes (Theorem 3.8 shows smaller universes genuinely change the
-	// problem).
-	assign := ids.Random(ids.LogUniverse(n), n, xrand.New(42))
-
-	res, err := simsync.Run(simsync.Config{
-		N:    n,
-		IDs:  assign,
-		Seed: 7, // seeds the engine's port mapping; the algorithm is deterministic
-	}, core.NewTradeoff(k))
+	spec, err := elect.Lookup("tradeoff")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := res.Validate(); err != nil {
+	// The seed drives everything reproducible about the run: the random ID
+	// assignment (from the Θ(n log n)-sized universe the paper assumes) and
+	// the engine's port mapping. The algorithm itself is deterministic.
+	res, err := elect.Run(spec,
+		elect.WithN(n),
+		elect.WithSeed(42),
+		elect.WithParams(elect.Params{K: k}),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if !res.OK {
+		log.Fatalf("run failed to elect a unique leader: %+v", res)
+	}
 
-	leader := res.UniqueLeader()
 	fmt.Printf("clique size      : %d nodes\n", n)
 	fmt.Printf("elected leader   : node %d (ID %d — the maximum, as the algorithm guarantees)\n",
-		leader, assign[leader])
+		res.Leader, res.LeaderID)
 	fmt.Printf("rounds used      : %d (= 2k-3 exactly)\n", res.Rounds)
 	fmt.Printf("messages sent    : %d (Theorem 3.10 bound: O(k·n^{1+1/(k-1)}))\n", res.Messages)
 	fmt.Printf("per-round profile: %v\n", res.PerRound[1:])

@@ -1,0 +1,3 @@
+module cliquelect
+
+go 1.24

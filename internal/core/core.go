@@ -88,9 +88,22 @@ func RankSpace(n int) int64 {
 	return out
 }
 
-// drawRank samples a rank uniformly from [1, n^4].
+// drawRank samples a rank uniformly from [1, n^4]. Int63 draws lie in
+// [0, 2^63); a bare modulo would over-weight the low residues whenever the
+// rank space does not divide 2^63, so draws from the incomplete final block
+// are rejected and retried. The rejection probability is below
+// RankSpace(n)/2^63, so the loop terminates almost immediately; when the
+// space divides 2^63 exactly (the 2^62 cap for n >= 2^16) nothing is
+// rejected. Computed in uint64 because 2^63 overflows int64.
 func drawRank(n int, rng interface{ Int63() int64 }) int64 {
-	return rng.Int63()%RankSpace(n) + 1
+	space := uint64(RankSpace(n))
+	limit := (uint64(1) << 63) - (uint64(1)<<63)%space // largest multiple of space <= 2^63
+	for {
+		v := uint64(rng.Int63())
+		if v < limit {
+			return int64(v%space) + 1
+		}
+	}
 }
 
 // Fanout returns ceil(n^(num/den)) clamped to [1, n-1]: the referee-set

@@ -1,0 +1,38 @@
+package lowerbound
+
+import (
+	"cliquelect/internal/core"
+	"cliquelect/internal/ids"
+	"cliquelect/internal/simsync"
+	"cliquelect/internal/xrand"
+)
+
+// This file provides the victim-algorithm factories and run helpers the
+// lower-bound CLIs and benchmarks need, so that callers outside internal/
+// drive the adversary harnesses without importing the engine or protocol
+// packages directly.
+
+// TradeoffVictim returns the Theorem 3.10 algorithm with parameter k as a
+// victim for the adversary games.
+func TradeoffVictim(k int) simsync.Factory { return core.NewTradeoff(k) }
+
+// HonestLasVegas returns the Theorem 3.16 Las Vegas algorithm, the honest
+// subject of CheckLasVegas.
+func HonestLasVegas() simsync.Factory { return core.NewLasVegas() }
+
+// RunSingleSend runs the Lemma 3.12 single-send transform of the given
+// victim on an n-node clique (IDs drawn from the Theorem 3.8 universe using
+// seed) and returns the message count. The Theorem 3.11 census reasons about
+// single-send executions; this helper produces them without exposing the
+// engine.
+func RunSingleSend(n int, victim simsync.Factory, seed uint64) (int64, error) {
+	rng := xrand.New(seed)
+	res, err := simsync.Run(simsync.Config{
+		N: n, IDs: ids.Random(ids.LogUniverse(n), n, rng),
+		Seed: rng.Uint64(), MaxRounds: 16 * n,
+	}, NewSingleSend(victim))
+	if err != nil {
+		return 0, err
+	}
+	return res.Messages, nil
+}

@@ -185,6 +185,10 @@ type Config struct {
 	Seed uint64
 	// MaxEvents aborts runaway executions; 0 defaults to 64*N*N + 1<<16.
 	MaxEvents int64
+	// MaxMessages drops further sends once the message count reaches this
+	// budget (the run continues to quiescence on the messages already in
+	// flight); 0 means unlimited.
+	MaxMessages int64
 }
 
 // Result summarizes one asynchronous execution.
@@ -204,6 +208,8 @@ type Result struct {
 	WakeTime []float64
 	// TimedOut reports that MaxEvents was exhausted.
 	TimedOut bool
+	// Truncated reports that MaxMessages was reached and sends were dropped.
+	Truncated bool
 }
 
 // Leaders returns the indices of nodes that decided Leader.
@@ -241,6 +247,9 @@ func (r *Result) AllAwake() bool {
 func (r *Result) Validate() error {
 	if r.TimedOut {
 		return errors.New("simasync: execution exhausted its event budget")
+	}
+	if r.Truncated {
+		return fmt.Errorf("simasync: run truncated at %d messages", r.Messages)
 	}
 	if got := len(r.Leaders()); got != 1 {
 		return fmt.Errorf("simasync: %d leaders elected, want 1", got)
@@ -355,6 +364,10 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		for _, s := range outs {
 			if s.Port < 0 || s.Port >= n-1 {
 				return fmt.Errorf("simasync: node %d sent on invalid port %d", u, s.Port)
+			}
+			if cfg.MaxMessages > 0 && res.Messages >= cfg.MaxMessages {
+				res.Truncated = true
+				continue
 			}
 			v, q := pm.Dest(u, s.Port)
 			var d float64

@@ -99,6 +99,10 @@ type Config struct {
 	Seed uint64
 	// MaxRounds aborts runaway executions; 0 defaults to 4*N+64.
 	MaxRounds int
+	// MaxMessages aborts the run once the message count reaches this budget
+	// (checked at round boundaries, so the final round may overshoot); 0
+	// means unlimited.
+	MaxMessages int64
 	// Trace, when non-nil, records the communication graph of the run
 	// (needed by the lower-bound harnesses; costs extra memory).
 	Trace *trace.Recorder
@@ -129,6 +133,8 @@ type Result struct {
 	WakeRound []int
 	// TimedOut reports that MaxRounds elapsed before quiescence.
 	TimedOut bool
+	// Truncated reports that MaxMessages was exhausted before quiescence.
+	Truncated bool
 }
 
 // Leaders returns the indices of nodes that decided Leader.
@@ -168,6 +174,9 @@ func (r *Result) AllAwake() bool {
 func (r *Result) Validate() error {
 	if r.TimedOut {
 		return errors.New("simsync: execution timed out")
+	}
+	if r.Truncated {
+		return fmt.Errorf("simsync: run truncated at %d messages", r.Messages)
 	}
 	if got := len(r.Leaders()); got != 1 {
 		return fmt.Errorf("simsync: %d leaders elected, want 1", got)
@@ -252,6 +261,10 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	for r := 1; ; r++ {
 		if r > maxRounds {
 			res.TimedOut = true
+			break
+		}
+		if cfg.MaxMessages > 0 && res.Messages >= cfg.MaxMessages {
+			res.Truncated = true
 			break
 		}
 		// Send phase.

@@ -81,6 +81,10 @@ func (r *Recorder) RecordSend(round, src, dst int, opened bool) {
 	r.union(src, dst)
 }
 
+// TotalEdges returns the number of distinct directed (src,dst) pairs
+// recorded so far — the edge count of the communication graph.
+func (r *Recorder) TotalEdges() int { return len(r.edges) }
+
 // Component returns the canonical representative of u's weakly connected
 // component.
 func (r *Recorder) Component(u int) int { return r.find(u) }
