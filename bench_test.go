@@ -225,6 +225,25 @@ func BenchmarkAblationArrivalWiring(b *testing.B) {
 	b.Run("uniform", func(b *testing.B) { run(b, lowerbound.WithUniformArrivals()) })
 }
 
+// BenchmarkFaultInjection measures the fault subsystem's hook overhead on
+// the Theorem 3.10 algorithm: a plain run, a zero-cost active injector
+// (rates so low nothing fires), and a lossy run. Compare msgs/op and ns/op
+// against the "plain" baseline.
+func BenchmarkFaultInjection(b *testing.B) {
+	const n = 1024
+	b.Run("plain", func(b *testing.B) {
+		benchElect(b, "tradeoff", n)
+	})
+	b.Run("faults=armed", func(b *testing.B) {
+		benchElect(b, "tradeoff", n,
+			elect.WithFaults(elect.FaultPlan{DropRate: 1e-9}))
+	})
+	b.Run("faults=lossy", func(b *testing.B) {
+		benchElect(b, "tradeoff", n,
+			elect.WithFaults(elect.FaultPlan{CrashRate: 0.1, DropRate: 0.01}))
+	})
+}
+
 // BenchmarkExplicitOverhead measures the +1 round / +n messages cost of the
 // explicit-election wrapper (Section 2 / Section 3.5 transformation).
 func BenchmarkExplicitOverhead(b *testing.B) {

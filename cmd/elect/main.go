@@ -7,6 +7,7 @@
 //	elect -algo advwake -n 4096 -wake 16 -eps 0.0625
 //	elect -algo asynctradeoff -n 2048 -k 3 -wake 1 -policy skew
 //	elect -algo asynctradeoff -n 256 -engine live
+//	elect -algo tradeoff -n 1024 -faults drop=0.05,crash=0.1
 //	elect -list
 package main
 
@@ -40,6 +41,7 @@ func run(args []string) error {
 		engine   = fs.String("engine", "auto", "engine: auto, sync, async, live")
 		budget   = fs.Int64("budget", 0, "message budget (0 = unlimited)")
 		explicit = fs.Bool("explicit", false, "explicit election: all nodes output the leader ID (sync only)")
+		faults   = fs.String("faults", "", "fault plan, e.g. drop=0.05,crash=0.1,dup=0.01,adaptive=1 (simulators only)")
 		list     = fs.Bool("list", false, "list algorithms and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +65,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	plan, err := elect.ParseFaults(*faults)
+	if err != nil {
+		return err
+	}
 	opts := []elect.Option{
 		elect.WithN(*n),
 		elect.WithSeed(*seed),
@@ -70,6 +76,7 @@ func run(args []string) error {
 		elect.WithWake(*wake),
 		elect.WithEngine(eng),
 		elect.WithMessageBudget(*budget),
+		elect.WithFaults(plan),
 	}
 	if spec.Model == elect.Async {
 		opts = append(opts, elect.WithDelays(delays))

@@ -43,3 +43,16 @@ func TestElectExplicit(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunWithFaults(t *testing.T) {
+	if err := run([]string{"-algo", "tradeoff", "-n", "32", "-faults", "dup=0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-algo", "tradeoff", "-n", "32", "-faults", "bogus=1"}); err == nil {
+		t.Fatal("bad fault plan accepted")
+	}
+	if err := run([]string{"-algo", "asynctradeoff", "-n", "32", "-engine", "live",
+		"-faults", "drop=0.1"}); err == nil {
+		t.Fatal("live engine accepted faults")
+	}
+}

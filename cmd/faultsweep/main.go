@@ -1,0 +1,149 @@
+// Command faultsweep measures election resilience under injected faults: it
+// sweeps crash and drop rates across specs and network sizes and prints a
+// resilience table — election-success rate, message cost and the fault
+// counters per configuration. Per-seed runs are deterministic, so a table is
+// reproducible from its seed; rows fan out over a worker pool (elect.RunMany).
+//
+// Usage:
+//
+//	faultsweep -algo tradeoff -ns 64,128 -drop 0,0.05,0.1,0.2
+//	faultsweep -algo all -ns 128 -crash 0,0.1,0.3 -csv
+//	faultsweep -algo asynctradeoff -drop 0.1 -faults adaptive=1,dup=0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cliquelect/elect"
+	"cliquelect/internal/cliutil"
+	"cliquelect/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveSpecs turns the -algo flag into specs: a comma-separated name list,
+// or "all" for every fault-qualified spec in the registry.
+func resolveSpecs(algo string) ([]elect.Spec, error) {
+	if algo == "all" {
+		var out []elect.Spec
+		for _, s := range elect.Registry() {
+			if s.FaultTolerant {
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	}
+	var out []elect.Spec
+	for _, name := range strings.Split(algo, ",") {
+		spec, err := elect.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("faultsweep", flag.ContinueOnError)
+	var (
+		algo      = fs.String("algo", "tradeoff", `algorithm names (comma-separated), or "all" for every fault-qualified spec`)
+		nsFlag    = fs.String("ns", "64,128", "comma-separated network sizes")
+		dropFlag  = fs.String("drop", "0,0.05,0.1,0.2", "comma-separated message-drop rates")
+		crashFlag = fs.String("crash", "0", "comma-separated node-crash rates")
+		base      = fs.String("faults", "", "base fault plan applied to every cell, elect.ParseFaults syntax (e.g. dup=0.02,dropfirst=4,adaptive=1); crash/drop belong to the sweep axes")
+		k         = fs.Int("k", 3, "tradeoff parameter k")
+		d         = fs.Int("d", 2, "smallid d")
+		g         = fs.Int("g", 1, "smallid g")
+		eps       = fs.Float64("eps", 1.0/16, "advwake epsilon")
+		seeds     = fs.Int("seeds", 20, "runs per configuration")
+		seed      = fs.Uint64("seed", 1, "master seed")
+		wake      = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
+		policy    = fs.String("policy", "unit", "async delay policy")
+		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := resolveSpecs(*algo)
+	if err != nil {
+		return err
+	}
+	delays, err := elect.ParseDelays(*policy)
+	if err != nil {
+		return err
+	}
+	basePlan, err := elect.ParseFaults(*base)
+	if err != nil {
+		return err
+	}
+	// The sweep axes own the crash and drop rates; a base plan that also sets
+	// them would be silently overwritten per cell, so reject the conflict.
+	if basePlan.CrashRate != 0 || basePlan.DropRate != 0 {
+		return fmt.Errorf("set crash/drop rates via the -crash/-drop sweep axes, not -faults")
+	}
+	ns, err := cliutil.ParseInts(*nsFlag)
+	if err != nil {
+		return err
+	}
+	drops, err := cliutil.ParseFloats(*dropFlag)
+	if err != nil {
+		return err
+	}
+	crashes, err := cliutil.ParseFloats(*crashFlag)
+	if err != nil {
+		return err
+	}
+
+	table := stats.NewTable("algo", "n", "crash", "drop", "success", "mean msgs",
+		"mean time", "crashed", "dropped", "dup'd")
+	for _, spec := range specs {
+		for _, cr := range crashes {
+			for _, dr := range drops {
+				plan := basePlan
+				plan.CrashRate = cr
+				plan.DropRate = dr
+				opts := []elect.Option{
+					elect.WithParams(elect.Params{K: *k, D: *d, G: *g, Eps: *eps}),
+					elect.WithWake(*wake),
+					elect.WithFaults(plan),
+				}
+				if spec.Model == elect.Async {
+					opts = append(opts, elect.WithDelays(delays))
+				}
+				batch, err := elect.RunMany(spec, elect.Batch{
+					Ns:      ns,
+					Seeds:   elect.Seeds(*seed, *seeds),
+					Options: opts,
+					Workers: *workers,
+				})
+				if err != nil {
+					return err
+				}
+				for _, agg := range batch.Aggregates {
+					table.AddRow(spec.Name, agg.N, cr, dr,
+						fmt.Sprintf("%.2f", agg.SuccessRate),
+						agg.Messages.Mean, agg.Time.Mean,
+						agg.MeanCrashed, agg.MeanDropped, agg.MeanDuplicated)
+				}
+			}
+		}
+	}
+	if *csv {
+		fmt.Fprint(w, table.CSV())
+	} else {
+		fmt.Fprint(w, table.String())
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sweepCSV(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(append(args, "-csv"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// successColumn extracts the per-row success rates from the CSV output.
+func successColumn(t *testing.T, csv string) []float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	var out []float64
+	for _, line := range lines[1:] { // skip header
+		fields := strings.Split(line, ",")
+		if len(fields) < 5 {
+			t.Fatalf("short CSV row %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			t.Fatalf("bad success cell in %q: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestResilienceCurves is the sweep's acceptance criterion: for the paper's
+// headline sync spec and one async spec, the election-success rate is 1.0 at
+// drop rate 0 and degrades monotonically (within noise) as the rate rises —
+// on both simulators.
+func TestResilienceCurves(t *testing.T) {
+	cases := []struct {
+		algo  string
+		drops string
+	}{
+		{"tradeoff", "0,0.02,0.08,0.3"},
+		{"asynctradeoff", "0,0.002,0.01,0.05"},
+	}
+	for _, tc := range cases {
+		rates := successColumn(t, sweepCSV(t,
+			"-algo", tc.algo, "-ns", "48", "-drop", tc.drops, "-seeds", "16"))
+		if len(rates) != 4 {
+			t.Fatalf("%s: %d rows, want 4", tc.algo, len(rates))
+		}
+		if rates[0] != 1 {
+			t.Errorf("%s: success %v at drop rate 0, want 1.0", tc.algo, rates[0])
+		}
+		const noise = 0.1
+		for i := 1; i < len(rates); i++ {
+			if rates[i] > rates[i-1]+noise {
+				t.Errorf("%s: success rose from %v to %v between drop rates (rows %d→%d)",
+					tc.algo, rates[i-1], rates[i], i-1, i)
+			}
+		}
+		if last := rates[len(rates)-1]; last >= rates[0] {
+			t.Errorf("%s: success did not degrade across the sweep: %v", tc.algo, rates)
+		}
+	}
+}
+
+// TestSweepDeterministic: the table is a pure function of its flags — two
+// invocations emit identical bytes.
+func TestSweepDeterministic(t *testing.T) {
+	args := []string{"-algo", "tradeoff,asynctradeoff", "-ns", "32",
+		"-drop", "0,0.1", "-crash", "0,0.2", "-seeds", "6", "-faults", "dup=0.02"}
+	if a, b := sweepCSV(t, args...), sweepCSV(t, args...); a != b {
+		t.Fatalf("same flags, different tables:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSweepAllSelectsQualifiedSpecs(t *testing.T) {
+	specs, err := resolveSpecs("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no fault-qualified specs")
+	}
+	for _, s := range specs {
+		if !s.FaultTolerant {
+			t.Errorf("%s selected by \"all\" without FaultTolerant", s.Name)
+		}
+		if s.Name == "lasvegas" {
+			t.Error("lasvegas selected despite wedging under faults")
+		}
+	}
+}
+
+func TestSweepAdaptive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "tradeoff", "-ns", "24", "-drop", "0",
+		"-seeds", "4", "-faults", "adaptive=1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tradeoff") {
+		t.Fatalf("missing rows:\n%s", buf.String())
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algo", "bogus"},
+		{"-ns", "12,abc"},
+		{"-drop", "0,x"},
+		{"-crash", "y"},
+		{"-faults", "bogus=1"},
+		{"-faults", "drop=0.3"}, // the sweep axes own crash/drop rates
+		{"-faults", "crash=0.3"},
+		{"-policy", "bogus"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

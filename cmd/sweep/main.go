@@ -3,20 +3,26 @@
 // fitted message-complexity exponent. Runs fan out over a worker pool
 // (elect.RunMany), so wide sweeps use every core.
 //
+// The -json flag additionally writes the rows as machine-readable benchmark
+// output ("auto" names the file BENCH_<date>.json), so perf trajectories can
+// be tracked across commits.
+//
 // Usage:
 //
 //	sweep -algo tradeoff -k 3,4,5 -ns 256,512,1024,2048
 //	sweep -algo asynctradeoff -k 2,3 -ns 256,1024 -wake 1 -csv
+//	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -json auto
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"time"
 
 	"cliquelect/elect"
+	"cliquelect/internal/cliutil"
 	"cliquelect/internal/stats"
 )
 
@@ -25,19 +31,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func run(args []string) error {
@@ -55,6 +48,7 @@ func run(args []string) error {
 		policy  = fs.String("policy", "unit", "async delay policy")
 		workers = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut = fs.String("json", "", `also write machine-readable benchmark JSON to this path ("auto" = BENCH_<date>.json)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,16 +61,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	ns, err := parseInts(*nsFlag)
+	ns, err := cliutil.ParseInts(*nsFlag)
 	if err != nil {
 		return err
 	}
-	ks, err := parseInts(*kFlag)
+	ks, err := cliutil.ParseInts(*kFlag)
 	if err != nil {
 		return err
 	}
 
 	table := stats.NewTable("k", "n", "mean msgs", "std", "mean time", "success")
+	bench := benchFile{
+		Date: time.Now().UTC().Format("2006-01-02"), Algo: *algo, Seeds: *seeds,
+	}
 	for _, k := range ks {
 		opts := []elect.Option{
 			elect.WithParams(elect.Params{K: k, D: *d, G: *g, Eps: *eps}),
@@ -100,10 +97,16 @@ func run(args []string) error {
 			ys = append(ys, agg.Messages.Mean)
 			table.AddRow(k, agg.N, agg.Messages.Mean, agg.Messages.Std, agg.Time.Mean,
 				fmt.Sprintf("%d/%d", agg.Successes, agg.Runs))
+			bench.Rows = append(bench.Rows, benchRow{
+				Algo: *algo, K: k, N: agg.N,
+				MeanMsgs: agg.Messages.Mean, StdMsgs: agg.Messages.Std,
+				MeanTime: agg.Time.Mean, SuccessRate: agg.SuccessRate,
+			})
 		}
 		if len(ns) >= 2 {
 			if fit, err := stats.FitPower(xs, ys); err == nil {
 				fmt.Printf("# k=%d: %s\n", k, fit)
+				bench.Fits = append(bench.Fits, benchFit{K: k, Fit: fit.String()})
 			}
 		}
 	}
@@ -112,5 +115,50 @@ func run(args []string) error {
 	} else {
 		fmt.Print(table.String())
 	}
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = "BENCH_" + bench.Date + ".json"
+		}
+		if err := writeBenchJSON(path, bench); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", path)
+	}
 	return nil
+}
+
+// benchFile is the machine-readable benchmark artifact written by -json: one
+// sweep invocation, its per-(k, n) measurements and the fitted exponents.
+// The schema is append-friendly so the perf trajectory (BENCH_<date>.json
+// files across commits) stays diffable.
+type benchFile struct {
+	Date  string     `json:"date"`
+	Algo  string     `json:"algo"`
+	Seeds int        `json:"seeds"`
+	Rows  []benchRow `json:"rows"`
+	Fits  []benchFit `json:"fits,omitempty"`
+}
+
+type benchRow struct {
+	Algo        string  `json:"algo"`
+	K           int     `json:"k"`
+	N           int     `json:"n"`
+	MeanMsgs    float64 `json:"mean_msgs"`
+	StdMsgs     float64 `json:"std_msgs"`
+	MeanTime    float64 `json:"mean_time"`
+	SuccessRate float64 `json:"success_rate"`
+}
+
+type benchFit struct {
+	K   int    `json:"k"`
+	Fit string `json:"fit"`
+}
+
+func writeBenchJSON(path string, bench benchFile) error {
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

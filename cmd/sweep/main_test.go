@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestSweepTradeoff(t *testing.T) {
 	if err := run([]string{"-algo", "tradeoff", "-k", "3,4", "-ns", "32,64", "-seeds", "2"}); err != nil {
@@ -27,9 +32,35 @@ func TestSweepErrors(t *testing.T) {
 	}
 }
 
-func TestParseInts(t *testing.T) {
-	got, err := parseInts(" 1, 2,3 ")
-	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
-		t.Fatalf("got %v, %v", got, err)
+func TestSweepJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-algo", "tradeoff", "-k", "3", "-ns", "32,64",
+		"-seeds", "2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Date string `json:"date"`
+		Algo string `json:"algo"`
+		Rows []struct {
+			N           int     `json:"n"`
+			MeanMsgs    float64 `json:"mean_msgs"`
+			SuccessRate float64 `json:"success_rate"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if bench.Algo != "tradeoff" || bench.Date == "" || len(bench.Rows) != 2 {
+		t.Fatalf("unexpected bench file: %+v", bench)
+	}
+	for _, r := range bench.Rows {
+		if r.MeanMsgs <= 0 || r.SuccessRate != 1 {
+			t.Fatalf("bad row: %+v", r)
+		}
 	}
 }

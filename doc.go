@@ -9,19 +9,28 @@
 // batch runner:
 //
 //   - elect — public API: Registry/Lookup, Run with functional options,
-//     unified Result, RunMany worker-pool sweeps.
+//     unified Result, RunMany worker-pool sweeps, and fault injection
+//     (WithFaults: deterministic crash-stop/drop/duplicate plans plus
+//     adaptive adversaries, with OK semantics restricted to survivors).
 //
 // The implementation lives under internal/:
 //
 //   - internal/core — the protocols (Theorems 3.10, 3.15, 3.16, 4.1,
 //     5.1, 5.14 plus the [1], [14], [16] baselines).
-//   - internal/simsync, internal/simasync — deterministic clique engines.
+//   - internal/simsync, internal/simasync — deterministic clique engines,
+//     both wired into the fault-injection hooks.
+//   - internal/faults — the seeded fault-injection subsystem (crash-stop at
+//     a round/time, per-message drop and duplication, targeted first-k
+//     drops, composable adaptive adversaries).
 //   - internal/livenet — goroutine-per-node concurrent runtime.
 //   - internal/lowerbound — executable adversaries for Theorems 3.8, 3.11,
 //     3.16 and 4.2.
 //   - internal/experiments — the Table-1 reproduction harness (E1..E13).
-//   - cmd/elect, cmd/sweep, cmd/experiments, cmd/lowerbound — CLIs.
-//   - examples/ — runnable scenarios.
+//   - cmd/elect, cmd/sweep, cmd/faultsweep, cmd/experiments,
+//     cmd/lowerbound — CLIs; cmd/faultsweep prints resilience tables
+//     (election-success rate under swept crash/drop rates) and cmd/sweep
+//     -json writes BENCH_<date>.json perf artifacts.
+//   - examples/ — runnable scenarios, each with a smoke test.
 //
 // See README.md for a tour and quickstart.
 package cliquelect

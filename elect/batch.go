@@ -52,13 +52,22 @@ type Aggregate struct {
 	N int
 	// Runs is the number of seeds executed at this size.
 	Runs int
-	// Successes counts runs that elected a valid unique leader (OK).
+	// Successes counts runs that elected a valid unique leader (OK; under
+	// WithFaults, restricted to surviving nodes).
 	Successes int
+	// SuccessRate is Successes/Runs — the election-success rate, the headline
+	// resilience measure under fault injection.
+	SuccessRate float64
 	// Messages summarizes the message complexity across seeds.
 	Messages Summary
 	// Time summarizes the time complexity across seeds: rounds on the sync
 	// engine, time units on the async simulator, zero on the live engine.
 	Time Summary
+	// MeanCrashed, MeanDropped and MeanDuplicated are the mean fault-injection
+	// counters per run (all zero without WithFaults).
+	MeanCrashed    float64
+	MeanDropped    float64
+	MeanDuplicated float64
 }
 
 // BatchResult is the outcome of one RunMany.
@@ -144,7 +153,14 @@ func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 			} else {
 				times = append(times, r.TimeUnits)
 			}
+			agg.MeanCrashed += float64(len(r.Crashed))
+			agg.MeanDropped += float64(r.Dropped)
+			agg.MeanDuplicated += float64(r.Duplicated)
 		}
+		agg.SuccessRate = float64(agg.Successes) / float64(agg.Runs)
+		agg.MeanCrashed /= float64(agg.Runs)
+		agg.MeanDropped /= float64(agg.Runs)
+		agg.MeanDuplicated /= float64(agg.Runs)
 		agg.Messages = newSummary(msgs)
 		agg.Time = newSummary(times)
 		out.Aggregates = append(out.Aggregates, agg)

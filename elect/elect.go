@@ -111,6 +111,13 @@ type Spec struct {
 	// Deterministic marks protocols with no coin flips: same IDs and port
 	// mapping always elect the same leader.
 	Deterministic bool
+	// FaultTolerant marks protocols qualified for fault injection
+	// (WithFaults): under crash/drop/duplicate faults the implementation
+	// keeps terminating within the engine caps and fails gracefully — the
+	// election-success rate degrades with the fault rate instead of the run
+	// wedging or panicking. Informational: Run does not enforce it, but
+	// cmd/faultsweep's "all" selector sweeps exactly these specs.
+	FaultTolerant bool
 
 	buildSync  func(p Params) (simsync.Factory, error)
 	buildAsync func(n int, p Params) (simasync.Factory, error)
@@ -154,7 +161,7 @@ func (s Spec) Validate(p Params) error {
 // registry is ordered for stable listings.
 var registry = []Spec{
 	{
-		Name: "tradeoff", Model: Sync, Paper: "Theorem 3.10", Deterministic: true,
+		Name: "tradeoff", FaultTolerant: true, Model: Sync, Paper: "Theorem 3.10", Deterministic: true,
 		Description: "improved deterministic tradeoff: 2k-3 rounds, O(k·n^{1+1/(k-1)}) msgs",
 		buildSync: func(p Params) (simsync.Factory, error) {
 			if err := core.ValidateTradeoffK(p.K); err != nil {
@@ -164,7 +171,7 @@ var registry = []Spec{
 		},
 	},
 	{
-		Name: "afekgafni", Model: Sync, Paper: "Afek-Gafni [1] baseline", Deterministic: true,
+		Name: "afekgafni", FaultTolerant: true, Model: Sync, Paper: "Afek-Gafni [1] baseline", Deterministic: true,
 		Description: "classic deterministic tradeoff: 2k rounds, O(k·n^{1+1/k}) msgs",
 		buildSync: func(p Params) (simsync.Factory, error) {
 			if err := core.ValidateAfekGafniK(p.K); err != nil {
@@ -174,7 +181,7 @@ var registry = []Spec{
 		},
 	},
 	{
-		Name: "smallid", Model: Sync, Paper: "Theorem 3.15 / Algorithm 1", Deterministic: true,
+		Name: "smallid", FaultTolerant: true, Model: Sync, Paper: "Theorem 3.15 / Algorithm 1", Deterministic: true,
 		SmallIDSpace: true,
 		Description:  "small-ID-universe scan: ceil(n/d) rounds, <= n·d·g msgs",
 		buildSync: func(p Params) (simsync.Factory, error) {
@@ -185,6 +192,9 @@ var registry = []Spec{
 		},
 	},
 	{
+		// Not FaultTolerant: its nodes busy-wait for referee verdicts that a
+		// single dropped or duplicated message can void, so faulted runs wedge
+		// until the engine's round cap instead of failing gracefully.
 		Name: "lasvegas", Model: Sync, Paper: "Theorem 3.16",
 		Description: "Las Vegas: 3 rounds and O(n) msgs w.h.p., never wrong",
 		buildSync: func(Params) (simsync.Factory, error) {
@@ -192,14 +202,14 @@ var registry = []Spec{
 		},
 	},
 	{
-		Name: "sublinear", Model: Sync, Paper: "Kutten et al. [16] baseline",
+		Name: "sublinear", FaultTolerant: true, Model: Sync, Paper: "Kutten et al. [16] baseline",
 		Description: "Monte Carlo: 2 rounds, O(sqrt(n)·log^{3/2} n) msgs, fails with o(1) prob.",
 		buildSync: func(Params) (simsync.Factory, error) {
 			return core.NewSublinear(), nil
 		},
 	},
 	{
-		Name: "advwake", Model: Sync, Paper: "Theorem 4.1",
+		Name: "advwake", FaultTolerant: true, Model: Sync, Paper: "Theorem 4.1",
 		Description: "adversarial wake-up: 2 rounds, O(n^{3/2}·log(1/eps)) msgs",
 		buildSync: func(p Params) (simsync.Factory, error) {
 			if err := core.ValidateEps(p.Eps); err != nil {
@@ -209,7 +219,7 @@ var registry = []Spec{
 		},
 	},
 	{
-		Name: "spreadelect", Model: Sync, Paper: "substituted [14]-style baseline",
+		Name: "spreadelect", FaultTolerant: true, Model: Sync, Paper: "substituted [14]-style baseline",
 		Description: "adversarial wake-up: k+5 rounds, O(n^{1+1/k}+n) msgs",
 		buildSync: func(p Params) (simsync.Factory, error) {
 			if err := core.ValidateSpreadK(p.K); err != nil {
@@ -219,7 +229,7 @@ var registry = []Spec{
 		},
 	},
 	{
-		Name: "asynctradeoff", Model: Async, Paper: "Theorem 5.1 / Algorithm 2",
+		Name: "asynctradeoff", FaultTolerant: true, Model: Async, Paper: "Theorem 5.1 / Algorithm 2",
 		Description: "async tradeoff: k+8 time units, O(n^{1+1/k}) msgs",
 		buildAsync: func(_ int, p Params) (simasync.Factory, error) {
 			if err := core.ValidateAsyncK(p.K); err != nil {
@@ -229,14 +239,14 @@ var registry = []Spec{
 		},
 	},
 	{
-		Name: "asyncafekgafni", Model: Async, Paper: "Theorem 5.14 / Section 5.4", Deterministic: true,
+		Name: "asyncafekgafni", FaultTolerant: true, Model: Async, Paper: "Theorem 5.14 / Section 5.4", Deterministic: true,
 		Description: "asynchronized Afek-Gafni: O(log n) time, O(n log n) msgs, simultaneous wake-up",
 		buildAsync: func(int, Params) (simasync.Factory, error) {
 			return core.NewAsyncAfekGafni(), nil
 		},
 	},
 	{
-		Name: "asynclinear", Model: Async, Paper: "substituted [14]-style async baseline",
+		Name: "asynclinear", FaultTolerant: true, Model: Async, Paper: "substituted [14]-style async baseline",
 		Description: "near-linear msgs at k=Theta(log n/log log n): O(n log n) msgs, O(log n) time",
 		buildAsync: func(n int, _ Params) (simasync.Factory, error) {
 			return core.NewAsyncLinear(n), nil

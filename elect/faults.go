@@ -1,0 +1,203 @@
+package elect
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cliquelect/internal/faults"
+	"cliquelect/internal/xrand"
+)
+
+// Crash schedules one explicit crash-stop: node Node fails permanently at
+// instant At — a round number on the sync engine, a time in delay units on
+// the async simulator. At 0 the node fails before doing anything.
+type Crash struct {
+	Node int
+	At   float64
+}
+
+// Adversary is an adaptive fault controller: the injector shows it every
+// sent message (Observe) and asks it at every hook point — round boundaries
+// on the sync engine, events on the async simulator — which nodes to
+// crash-stop right now (Tick). The paper's Section 5 adversary is adaptive
+// (it schedules after seeing the nodes' coins), so adaptive crashing is
+// admissible in the same sense.
+type Adversary interface {
+	// Observe is called once per protocol send with the message's endpoints,
+	// kind, payload words and the current instant.
+	Observe(src, dst int, kind uint8, a, b int64, at float64)
+	// Tick returns the nodes to crash-stop at instant at (may be nil or
+	// name already-crashed nodes; the injector deduplicates).
+	Tick(at float64) []int
+}
+
+// FaultPlan declares the faults injected into one run (see WithFaults). The
+// zero plan injects nothing and leaves runs byte-identical to plain ones:
+// all fault sampling draws from a private RNG stream salted off the run
+// seed, never from the engine or protocol streams. Same seed + same plan
+// reproduces the same faulted execution exactly.
+type FaultPlan struct {
+	// CrashRate makes each node independently crash-stop with this
+	// probability, at an instant sampled uniformly from [0, CrashWindow).
+	CrashRate float64
+	// CrashWindow is the sampling horizon for CrashRate victims, in rounds
+	// (sync) or time units (async); <= 0 means 8, which covers the makespan
+	// of every registered protocol at its usual parameters.
+	CrashWindow float64
+	// Crashes schedules explicit crash-stops, in addition to sampled ones.
+	Crashes []Crash
+	// DropRate loses each message independently with this probability.
+	DropRate float64
+	// DropFirst loses the first DropFirst messages of the run outright — the
+	// targeted variant that kills exactly the protocol's opening moves.
+	DropFirst int
+	// DupRate delivers each message twice with this probability.
+	DupRate float64
+	// NewAdversary, when non-nil, constructs the run's adaptive controller.
+	// It is a factory, not an instance: every run builds a fresh controller,
+	// so one plan can drive many concurrent RunMany runs safely.
+	NewAdversary func() Adversary
+}
+
+// IsZero reports whether the plan injects no faults at all.
+func (p FaultPlan) IsZero() bool {
+	return p.CrashRate == 0 && len(p.Crashes) == 0 && p.DropRate == 0 &&
+		p.DropFirst == 0 && p.DupRate == 0 && p.NewAdversary == nil
+}
+
+// internal converts the public plan to the engine-level one.
+func (p FaultPlan) internal() faults.Plan {
+	fp := faults.Plan{
+		CrashRate:   p.CrashRate,
+		CrashWindow: p.CrashWindow,
+		DropRate:    p.DropRate,
+		DropFirst:   p.DropFirst,
+		DupRate:     p.DupRate,
+	}
+	for _, c := range p.Crashes {
+		fp.Crashes = append(fp.Crashes, faults.Crash{Node: c.Node, At: c.At})
+	}
+	if p.NewAdversary != nil {
+		mk := p.NewAdversary
+		fp.NewAdversary = func() faults.Adversary { return mk() }
+	}
+	return fp
+}
+
+// faultSeedSalt decorrelates the injector's RNG stream from the run's master
+// stream without consuming from it, so adding a zero plan (or removing a
+// plan) never perturbs the underlying execution.
+const faultSeedSalt = 0x5EEDFA17C0DED00D
+
+// injector builds the run's fault injector, or nil for a zero plan.
+func (c *runConfig) injector() (*faults.Injector, error) {
+	if c.faults.IsZero() {
+		return nil, nil
+	}
+	return faults.NewInjector(c.faults.internal(), c.n, xrand.New(c.seed^faultSeedSalt).Uint64())
+}
+
+// WithFaults injects the plan's crash-stop/drop/duplicate faults into the
+// run. Only the two deterministic simulators support fault injection; it is
+// an error on the live engine. Under a non-zero plan the Result's OK field
+// keeps its meaning restricted to surviving nodes: exactly one surviving
+// leader and every awake surviving node decided.
+func WithFaults(p FaultPlan) Option {
+	return func(c *runConfig) { c.faults = p }
+}
+
+// CrashLowestSender returns an adversary factory for FaultPlan.NewAdversary
+// implementing the canonical adaptive attack: watch the first payload word
+// of every message (the registered protocols put the sender's ID or rank
+// there) and, at each hook point, crash the sender of the smallest value
+// seen so far — "always kill the current front-runner" — up to budget
+// victims in total.
+func CrashLowestSender(budget int) func() Adversary {
+	return func() Adversary { return faults.NewCrashLowestSender(budget) }
+}
+
+// ComposeAdversaries stacks several adversary factories into one: every
+// controller observes every message, and their crash verdicts are unioned.
+func ComposeAdversaries(mks ...func() Adversary) func() Adversary {
+	return func() Adversary {
+		advs := make([]faults.Adversary, len(mks))
+		for i, mk := range mks {
+			advs[i] = mk()
+		}
+		return faults.Compose(advs...)
+	}
+}
+
+// faultKnobs is the registry of CLI-facing fault-plan fields, sharing the
+// knobTable machinery (and error format) with the delay-profile registry:
+// all adversarial knob parsing lives in these tables.
+var faultKnobs = knobTable[func(*FaultPlan, string) error]{
+	kind: "fault knob",
+	entries: []knobEntry[func(*FaultPlan, string) error]{
+		{"crash", setFaultFloat(func(p *FaultPlan, v float64) { p.CrashRate = v })},
+		{"drop", setFaultFloat(func(p *FaultPlan, v float64) { p.DropRate = v })},
+		{"dup", setFaultFloat(func(p *FaultPlan, v float64) { p.DupRate = v })},
+		{"window", setFaultFloat(func(p *FaultPlan, v float64) { p.CrashWindow = v })},
+		{"dropfirst", setFaultInt(func(p *FaultPlan, v int) { p.DropFirst = v })},
+		{"adaptive", func(p *FaultPlan, s string) error {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("elect: bad fault knob value %q: %w", s, err)
+			}
+			if v < 1 {
+				return fmt.Errorf("elect: adaptive budget %d, want >= 1 (omit the knob to disable)", v)
+			}
+			p.NewAdversary = CrashLowestSender(v)
+			return nil
+		}},
+	},
+}
+
+func setFaultFloat(set func(*FaultPlan, float64)) func(*FaultPlan, string) error {
+	return func(p *FaultPlan, s string) error {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("elect: bad fault knob value %q: %w", s, err)
+		}
+		set(p, v)
+		return nil
+	}
+}
+
+func setFaultInt(set func(*FaultPlan, int)) func(*FaultPlan, string) error {
+	return func(p *FaultPlan, s string) error {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("elect: bad fault knob value %q: %w", s, err)
+		}
+		set(p, v)
+		return nil
+	}
+}
+
+// ParseFaults resolves the CLI fault-plan syntax: a comma-separated list of
+// knob=value pairs, e.g. "drop=0.1,crash=0.05,dup=0.01,dropfirst=4,window=6"
+// plus "adaptive=N" for a CrashLowestSender with budget N. The empty string
+// is the zero plan. It is the fault-side counterpart of ParseDelays; both
+// draw their names from the same knob registry.
+func ParseFaults(s string) (FaultPlan, error) {
+	var p FaultPlan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return FaultPlan{}, fmt.Errorf("elect: bad fault knob %q, want name=value", strings.TrimSpace(part))
+		}
+		set, err := faultKnobs.lookup(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return FaultPlan{}, err
+		}
+		if err := set(&p, strings.TrimSpace(kv[1])); err != nil {
+			return FaultPlan{}, err
+		}
+	}
+	return p, nil
+}

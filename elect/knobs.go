@@ -1,0 +1,45 @@
+package elect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// knobTable is the one registry behind every CLI-facing parser of
+// adversarial knobs (delay profiles, fault-plan fields): a named list of
+// name → value entries with a uniform unknown-name error that enumerates
+// the valid names. Adding an entry to a table is the whole registration —
+// parsers, error messages and listings pick it up automatically.
+type knobTable[T any] struct {
+	kind    string // what the table parses, for error messages
+	entries []knobEntry[T]
+}
+
+type knobEntry[T any] struct {
+	name  string
+	value T
+}
+
+// lookup resolves a name, returning the uniform unknown-name error on miss.
+func (t knobTable[T]) lookup(name string) (T, error) {
+	for _, e := range t.entries {
+		if e.name == name {
+			return e.value, nil
+		}
+	}
+	var zero T
+	return zero, fmt.Errorf("elect: unknown %s %q (have: %s)",
+		t.kind, name, strings.Join(t.names(), ", "))
+}
+
+// names lists the registered names in table order, skipping the empty-string
+// default alias.
+func (t knobTable[T]) names() []string {
+	out := make([]string, 0, len(t.entries))
+	for _, e := range t.entries {
+		if e.name != "" {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}

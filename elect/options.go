@@ -1,6 +1,6 @@
 package elect
 
-import "fmt"
+import "cliquelect/internal/simasync"
 
 // DelayProfile names an adversarial delay scheduler for the asynchronous
 // simulator. The live engine ignores delays: its schedule is whatever the Go
@@ -18,18 +18,39 @@ const (
 	DelaySkew DelayProfile = "skew"
 )
 
+// delayDef couples a profile name with its scheduler constructor.
+type delayDef struct {
+	profile DelayProfile
+	policy  func() simasync.DelayPolicy
+}
+
+// delayProfiles is the registry of delay schedulers: name resolution for
+// ParseDelays/WithDelays and the policy construction for the async engine
+// live in this one table (see knobTable).
+var delayProfiles = knobTable[delayDef]{kind: "delay profile", entries: []knobEntry[delayDef]{
+	{"", delayDef{DelayUnit, func() simasync.DelayPolicy { return simasync.UnitDelay{} }}},
+	{"unit", delayDef{DelayUnit, func() simasync.DelayPolicy { return simasync.UnitDelay{} }}},
+	{"uniform", delayDef{DelayUniform, func() simasync.DelayPolicy { return simasync.UniformDelay{Lo: 0.05} }}},
+	{"skew", delayDef{DelaySkew, func() simasync.DelayPolicy { return simasync.SkewDelay{Fast: 0.05, Mod: 3} }}},
+}}
+
 // ParseDelays resolves a delay-profile name (as used by CLI flags). The
 // empty string means DelayUnit.
 func ParseDelays(name string) (DelayProfile, error) {
-	switch DelayProfile(name) {
-	case "", DelayUnit:
-		return DelayUnit, nil
-	case DelayUniform:
-		return DelayUniform, nil
-	case DelaySkew:
-		return DelaySkew, nil
+	def, err := delayProfiles.lookup(name)
+	if err != nil {
+		return "", err
 	}
-	return "", fmt.Errorf("elect: unknown delay profile %q (unit, uniform, skew)", name)
+	return def.profile, nil
+}
+
+// delayPolicy builds the async engine's scheduler for a profile.
+func delayPolicy(p DelayProfile) (simasync.DelayPolicy, error) {
+	def, err := delayProfiles.lookup(string(p))
+	if err != nil {
+		return nil, err
+	}
+	return def.policy(), nil
 }
 
 // runConfig is the resolved option set of one Run.
@@ -42,6 +63,7 @@ type runConfig struct {
 	wakeSet   []int
 	delays    DelayProfile
 	delaysSet bool
+	faults    FaultPlan
 	engine    Engine
 	trace     bool
 	budget    int64

@@ -87,8 +87,18 @@ type Result struct {
 	// TimedOut reports that the run hit the engine's runaway cap (rounds or
 	// events) before quiescence.
 	TimedOut bool
+	// Crashed lists (sorted) the nodes that crash-stopped during the run
+	// (WithFaults only).
+	Crashed []int
+	// Dropped counts messages the fault injector lost; Duplicated counts the
+	// extra copies it delivered. Dropped messages are included in Messages
+	// (they were sent); duplicates are not (the protocol sent one).
+	Dropped    int64
+	Duplicated int64
 	// OK reports a valid implicit election: exactly one leader, every awake
-	// node decided, no truncation.
+	// node decided, no truncation. Under WithFaults the guarantee is
+	// restricted to surviving nodes — crashed nodes' outputs are void and
+	// they owe no decision, so a run whose unique leader crashed is not OK.
 	OK bool
 	// Trace is the communication-graph summary when WithTrace was set.
 	Trace *TraceSummary
@@ -110,6 +120,10 @@ func (r Result) String() string {
 		fmt.Fprintf(&b, "rounds    : %d\n", r.Rounds)
 	case EngineAsync:
 		fmt.Fprintf(&b, "time      : %.2f units\n", r.TimeUnits)
+	}
+	if len(r.Crashed) > 0 || r.Dropped > 0 || r.Duplicated > 0 {
+		fmt.Fprintf(&b, "faults    : %d crashed %v, %d dropped, %d duplicated\n",
+			len(r.Crashed), r.Crashed, r.Dropped, r.Duplicated)
 	}
 	fmt.Fprintf(&b, "all awake : %v\n", r.AllAwake)
 	fmt.Fprintf(&b, "valid     : %v\n", r.OK)
@@ -159,6 +173,9 @@ func Run(spec Spec, opts ...Option) (Result, error) {
 	}
 	if cfg.explicit && spec.Model != Sync {
 		return res, fmt.Errorf("elect: WithExplicit requires a synchronous spec (got %s)", spec.Name)
+	}
+	if !cfg.faults.IsZero() && engine == EngineLive {
+		return res, fmt.Errorf("elect: WithFaults requires a deterministic simulator (got %s engine)", engine)
 	}
 
 	rng := xrand.New(cfg.seed)
@@ -247,9 +264,13 @@ func runSync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, re
 	if cfg.trace {
 		rec = trace.NewRecorder(cfg.n)
 	}
+	inj, err := cfg.injector()
+	if err != nil {
+		return err
+	}
 	out, err := simsync.Run(simsync.Config{
 		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Wake: wake,
-		MaxMessages: cfg.budget, Trace: rec,
+		MaxMessages: cfg.budget, Trace: rec, Faults: inj,
 	}, factory)
 	if err != nil {
 		return err
@@ -262,6 +283,9 @@ func runSync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, re
 	res.AllAwake = out.AllAwake()
 	res.Truncated = out.Truncated
 	res.TimedOut = out.TimedOut
+	res.Crashed = out.Crashed
+	res.Dropped = out.Dropped
+	res.Duplicated = out.Duplicated
 	res.Leader = out.UniqueLeader()
 	res.OK = out.Validate() == nil
 	if rec != nil {
@@ -292,9 +316,13 @@ func runAsync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, r
 	if wset != nil {
 		wake = simasync.SubsetAtZero(wset)
 	}
+	inj, err := cfg.injector()
+	if err != nil {
+		return err
+	}
 	out, err := simasync.Run(simasync.Config{
 		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Delays: policy, Wake: wake,
-		MaxMessages: cfg.budget,
+		MaxMessages: cfg.budget, Faults: inj,
 	}, factory)
 	if err != nil {
 		return err
@@ -306,6 +334,9 @@ func runAsync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, r
 	res.AllAwake = out.AllAwake()
 	res.Truncated = out.Truncated
 	res.TimedOut = out.TimedOut
+	res.Crashed = out.Crashed
+	res.Dropped = out.Dropped
+	res.Duplicated = out.Duplicated
 	res.Leader = out.UniqueLeader()
 	res.OK = out.Validate() == nil
 	return nil
@@ -340,20 +371,6 @@ func runLive(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, re
 	res.Leader = uniqueLeader(out.Decisions)
 	res.OK = out.Validate() == nil
 	return nil
-}
-
-func delayPolicy(p DelayProfile) (simasync.DelayPolicy, error) {
-	p, err := ParseDelays(string(p)) // single place that validates names
-	if err != nil {
-		return nil, err
-	}
-	switch p {
-	case DelayUniform:
-		return simasync.UniformDelay{Lo: 0.05}, nil
-	case DelaySkew:
-		return simasync.SkewDelay{Fast: 0.05, Mod: 3}, nil
-	}
-	return simasync.UnitDelay{}, nil
 }
 
 func decisions(in []proto.Decision) []Decision {

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"cliquelect/elect"
 	"cliquelect/internal/lowerbound"
@@ -21,34 +23,40 @@ func main() {
 	n := flag.Int("n", 1024, "clique size (power of two)")
 	k := flag.Int("k", 4, "victim algorithm's tradeoff parameter")
 	flag.Parse()
+	if err := run(*n, *k, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(n, k int, w io.Writer) error {
 	// First measure the victim's own message budget f = messages/n.
 	spec, err := elect.Lookup("tradeoff")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	plain, err := elect.Run(spec,
-		elect.WithN(*n), elect.WithSeed(3), elect.WithParams(elect.Params{K: *k}))
+		elect.WithN(n), elect.WithSeed(3), elect.WithParams(elect.Params{K: k}))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	f := float64(plain.Messages) / float64(*n)
-	fmt.Printf("victim: Theorem 3.10 algorithm, k=%d (%d rounds), f = msgs/n = %.1f\n",
-		*k, plain.Rounds, f)
+	f := float64(plain.Messages) / float64(n)
+	fmt.Fprintf(w, "victim: Theorem 3.10 algorithm, k=%d (%d rounds), f = msgs/n = %.1f\n",
+		k, plain.Rounds, f)
 
-	game, err := lowerbound.ComponentGame(*n, f, lowerbound.TradeoffVictim(*k), 99)
+	game, err := lowerbound.ComponentGame(n, f, lowerbound.TradeoffVictim(k), 99)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("Theorem 3.8 floor at this budget: more than %.2f rounds\n\n", game.PredictedRounds)
+	fmt.Fprintf(w, "Theorem 3.8 floor at this budget: more than %.2f rounds\n\n", game.PredictedRounds)
 
 	table := stats.NewTable("round", "msgs", "max component", "cap 2^sigma_r", "contained")
 	for _, cr := range game.Rounds[1:] {
 		table.AddRow(cr.Round, cr.Messages, cr.MaxComponent, cr.Cap, cr.MaxComponent <= cr.Cap)
 	}
-	fmt.Print(table.String())
+	fmt.Fprint(w, table.String())
 
-	fmt.Printf("\nThe algorithm could not terminate before some component held a majority\n")
-	fmt.Printf("(Corollary 3.7); the adversary enforced caps for %d round(s), and the\n", game.StalledRounds())
-	fmt.Printf("measured %d rounds indeed exceed the %.2f-round floor.\n", plain.Rounds, game.PredictedRounds)
+	fmt.Fprintf(w, "\nThe algorithm could not terminate before some component held a majority\n")
+	fmt.Fprintf(w, "(Corollary 3.7); the adversary enforced caps for %d round(s), and the\n", game.StalledRounds())
+	fmt.Fprintf(w, "measured %d rounds indeed exceed the %.2f-round floor.\n", plain.Rounds, game.PredictedRounds)
+	return nil
 }

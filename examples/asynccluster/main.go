@@ -12,25 +12,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"cliquelect/elect"
 	"cliquelect/internal/stats"
 )
 
 func main() {
-	const (
-		n     = 2048
-		seeds = 5
-	)
+	if err := run(2048, 5, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, seeds int, w io.Writer) error {
 	kMax := elect.NearLinearK(n)
 
 	spec, err := elect.Lookup("asynctradeoff")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("asynchronous clique, n = %d, single adversarial wake-up, uniform delays in [0.05, 1]\n", n)
-	fmt.Printf("Theorem 5.1: k+8 time units and O(n^{1+1/k}) messages, k in [2, %d]\n\n", kMax)
+	fmt.Fprintf(w, "asynchronous clique, n = %d, single adversarial wake-up, uniform delays in [0.05, 1]\n", n)
+	fmt.Fprintf(w, "Theorem 5.1: k+8 time units and O(n^{1+1/k}) messages, k in [2, %d]\n\n", kMax)
 
 	table := stats.NewTable("k", "bound k+8", "mean time", "mean msgs", "msgs/n")
 	for k := 2; k <= kMax; k++ {
@@ -44,16 +48,17 @@ func main() {
 			},
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		agg := batch.Aggregates[0]
 		if agg.Successes != agg.Runs {
-			log.Fatalf("k=%d: only %d/%d runs elected a unique leader", k, agg.Successes, agg.Runs)
+			return fmt.Errorf("k=%d: only %d/%d runs elected a unique leader", k, agg.Successes, agg.Runs)
 		}
 		table.AddRow(k, k+8, agg.Time.Mean, agg.Messages.Mean, agg.Messages.Mean/float64(n))
 	}
-	fmt.Print(table.String())
-	fmt.Println("\nreading the curve: k=2 spends ~n^{3/2} messages within its k+8 = 10 time-unit")
-	fmt.Println("bound (matching the Theorem 4.2 floor for 2 time units), while k =", kMax, "reaches")
-	fmt.Println("the near-linear corner — the first message/time tradeoff in the async clique.")
+	fmt.Fprint(w, table.String())
+	fmt.Fprintf(w, "\nreading the curve: k=2 spends ~n^{3/2} messages within its k+8 = 10 time-unit\n")
+	fmt.Fprintf(w, "bound (matching the Theorem 4.2 floor for 2 time units), while k = %d reaches\n", kMax)
+	fmt.Fprintf(w, "the near-linear corner — the first message/time tradeoff in the async clique.\n")
+	return nil
 }

@@ -11,8 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"cliquelect/elect"
 	"cliquelect/internal/stats"
@@ -30,8 +32,13 @@ func main() {
 	n := flag.Int("n", 4096, "clique size")
 	budget := flag.Float64("budget", 100000, "message budget per election")
 	flag.Parse()
+	if err := run(*n, *budget, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	fn := float64(*n)
+func run(n int, budget float64, w io.Writer) error {
+	fn := float64(n)
 	var plans []plan
 	// Deterministic tradeoff (Theorem 3.10): k >= 3.
 	for k := 3; k <= 8; k++ {
@@ -52,46 +59,47 @@ func main() {
 		rounds: 2, predicted: 2 * math.Sqrt(fn) * math.Pow(math.Log(fn), 1.5),
 	})
 
-	fmt.Printf("election planner: n = %d, budget = %.0f messages\n\n", *n, *budget)
+	fmt.Fprintf(w, "election planner: n = %d, budget = %.0f messages\n\n", n, budget)
 	table := stats.NewTable("algorithm", "params", "time", "predicted msgs", "fits budget")
 	var best *plan
 	for i := range plans {
 		p := &plans[i]
-		fits := p.predicted <= *budget
+		fits := p.predicted <= budget
 		table.AddRow(p.algo, fmt.Sprintf("k=%d", p.params.K), p.rounds, p.predicted, fits)
 		if fits && (best == nil || p.rounds < best.rounds ||
 			(p.rounds == best.rounds && p.predicted < best.predicted)) {
 			best = p
 		}
 	}
-	fmt.Print(table.String())
+	fmt.Fprint(w, table.String())
 	if best == nil {
-		log.Fatalf("no algorithm fits a budget of %.0f messages at n=%d; "+
-			"the Theorem 3.8 tradeoff says you must pay more time or more messages", *budget, *n)
+		return fmt.Errorf("no algorithm fits a budget of %.0f messages at n=%d; "+
+			"the Theorem 3.8 tradeoff says you must pay more time or more messages", budget, n)
 	}
-	fmt.Printf("\nchosen: %s (k=%d) — now validating on a simulated clique\n\n", best.algo, best.params.K)
+	fmt.Fprintf(w, "\nchosen: %s (k=%d) — now validating on a simulated clique\n\n", best.algo, best.params.K)
 
 	spec, err := elect.Lookup(best.algo)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	params := best.params
 	if params.K == 0 {
 		params = elect.DefaultParams()
 	}
 	res, err := elect.Run(spec,
-		elect.WithN(*n), elect.WithSeed(11), elect.WithParams(params),
-		elect.WithMessageBudget(int64(*budget)))
+		elect.WithN(n), elect.WithSeed(11), elect.WithParams(params),
+		elect.WithMessageBudget(int64(budget)))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(res)
+	fmt.Fprint(w, res)
 	switch {
 	case res.Truncated:
-		fmt.Printf("NOTE: the budget truncated the run after %d messages — predictions are asymptotic\n", res.Messages)
-	case float64(res.Messages) > *budget:
-		fmt.Printf("NOTE: measured %d messages exceeded the budget — predictions are asymptotic\n", res.Messages)
+		fmt.Fprintf(w, "NOTE: the budget truncated the run after %d messages — predictions are asymptotic\n", res.Messages)
+	case float64(res.Messages) > budget:
+		fmt.Fprintf(w, "NOTE: measured %d messages exceeded the budget — predictions are asymptotic\n", res.Messages)
 	default:
-		fmt.Printf("budget honored: %d <= %.0f\n", res.Messages, *budget)
+		fmt.Fprintf(w, "budget honored: %d <= %.0f\n", res.Messages, budget)
 	}
+	return nil
 }

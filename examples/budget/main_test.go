@@ -1,0 +1,22 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke runs the example's main path at a tiny size so CI catches API
+// drift in the example code.
+func TestSmoke(t *testing.T) {
+	if err := run(64, 1e6, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoFit: an impossible budget must fail with the planner's explanation,
+// not a panic.
+func TestNoFit(t *testing.T) {
+	if err := run(64, 1, io.Discard); err == nil {
+		t.Fatal("1-message budget accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the walkthrough at a tiny size so CI catches API drift in
+// the example code.
+func TestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(48, 4, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fault-free run", "resilience to message loss", "adaptive front-runner hunt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,20 +7,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"cliquelect/elect"
 )
 
 func main() {
-	const (
-		n = 1024 // clique size
-		k = 4    // tradeoff parameter: 2k-3 = 5 rounds
-	)
+	// n = clique size; k = tradeoff parameter (2k-3 = 5 rounds at k = 4).
+	if err := run(1024, 4, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(n, k int, w io.Writer) error {
 	spec, err := elect.Lookup("tradeoff")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// The seed drives everything reproducible about the run: the random ID
 	// assignment (from the Θ(n log n)-sized universe the paper assumes) and
@@ -31,16 +35,17 @@ func main() {
 		elect.WithParams(elect.Params{K: k}),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !res.OK {
-		log.Fatalf("run failed to elect a unique leader: %+v", res)
+		return fmt.Errorf("run failed to elect a unique leader: %+v", res)
 	}
 
-	fmt.Printf("clique size      : %d nodes\n", n)
-	fmt.Printf("elected leader   : node %d (ID %d — the maximum, as the algorithm guarantees)\n",
+	fmt.Fprintf(w, "clique size      : %d nodes\n", n)
+	fmt.Fprintf(w, "elected leader   : node %d (ID %d — the maximum, as the algorithm guarantees)\n",
 		res.Leader, res.LeaderID)
-	fmt.Printf("rounds used      : %d (= 2k-3 exactly)\n", res.Rounds)
-	fmt.Printf("messages sent    : %d (Theorem 3.10 bound: O(k·n^{1+1/(k-1)}))\n", res.Messages)
-	fmt.Printf("per-round profile: %v\n", res.PerRound[1:])
+	fmt.Fprintf(w, "rounds used      : %d (= 2k-3 exactly)\n", res.Rounds)
+	fmt.Fprintf(w, "messages sent    : %d (Theorem 3.10 bound: O(k·n^{1+1/(k-1)}))\n", res.Messages)
+	fmt.Fprintf(w, "per-round profile: %v\n", res.PerRound[1:])
+	return nil
 }

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke runs the example's main path at a tiny size so CI catches API
+// drift in the example code.
+func TestSmoke(t *testing.T) {
+	if err := run(64, 3, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

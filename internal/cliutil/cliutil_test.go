@@ -1,0 +1,23 @@
+package cliutil
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 1, 2,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0, 0.5 ,1")
+	if err != nil || len(got) != 3 || got[1] != 0.5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := ParseFloats("0,y"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cliquelect/internal/faults"
 	"cliquelect/internal/ids"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
@@ -189,6 +190,11 @@ type Config struct {
 	// budget (the run continues to quiescence on the messages already in
 	// flight); 0 means unlimited.
 	MaxMessages int64
+	// Faults, when non-nil, injects crash-stop/drop/duplicate faults. Crash
+	// checks run at every event (instant = event time) and every send passes
+	// through the injector. The injector's RNG is private, so a nil injector
+	// leaves executions byte-identical to fault-free runs.
+	Faults *faults.Injector
 }
 
 // Result summarizes one asynchronous execution.
@@ -210,9 +216,18 @@ type Result struct {
 	TimedOut bool
 	// Truncated reports that MaxMessages was reached and sends were dropped.
 	Truncated bool
+	// Crashed lists (sorted) the nodes that crash-stopped during the run
+	// (fault injection only).
+	Crashed []int
+	// Dropped counts messages the fault injector lost; Duplicated counts the
+	// extra copies it delivered. Both are included in/excluded from Messages
+	// respectively: a dropped message was still sent, a duplicate was not.
+	Dropped    int64
+	Duplicated int64
 }
 
-// Leaders returns the indices of nodes that decided Leader.
+// Leaders returns the indices of nodes that decided Leader, including nodes
+// that crashed after deciding.
 func (r *Result) Leaders() []int {
 	var out []int
 	for u, d := range r.Decisions {
@@ -223,9 +238,32 @@ func (r *Result) Leaders() []int {
 	return out
 }
 
-// UniqueLeader returns the elected node, or -1 if not exactly one.
+// CrashedNode reports whether node u crash-stopped during the run.
+func (r *Result) CrashedNode(u int) bool {
+	for _, c := range r.Crashed {
+		if c == u {
+			return true
+		}
+	}
+	return false
+}
+
+// survivingLeaders is Leaders restricted to nodes that did not crash.
+func (r *Result) survivingLeaders() []int {
+	var out []int
+	for _, u := range r.Leaders() {
+		if !r.CrashedNode(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UniqueLeader returns the elected node if exactly one surviving node
+// decided Leader (a crashed node's output is void, per the usual crash-stop
+// semantics), or -1 otherwise.
 func (r *Result) UniqueLeader() int {
-	ls := r.Leaders()
+	ls := r.survivingLeaders()
 	if len(ls) != 1 {
 		return -1
 	}
@@ -242,8 +280,9 @@ func (r *Result) AllAwake() bool {
 	return true
 }
 
-// Validate checks implicit leader election: exactly one leader and every
-// awake node decided.
+// Validate checks implicit leader election restricted to surviving nodes:
+// exactly one surviving leader and every awake surviving node decided
+// (crashed nodes owe nothing, as usual under crash-stop faults).
 func (r *Result) Validate() error {
 	if r.TimedOut {
 		return errors.New("simasync: execution exhausted its event budget")
@@ -251,11 +290,11 @@ func (r *Result) Validate() error {
 	if r.Truncated {
 		return fmt.Errorf("simasync: run truncated at %d messages", r.Messages)
 	}
-	if got := len(r.Leaders()); got != 1 {
-		return fmt.Errorf("simasync: %d leaders elected, want 1", got)
+	if got := len(r.survivingLeaders()); got != 1 {
+		return fmt.Errorf("simasync: %d surviving leaders elected, want 1", got)
 	}
 	for u, d := range r.Decisions {
-		if r.WakeTime[u] >= 0 && d == proto.Undecided {
+		if r.WakeTime[u] >= 0 && d == proto.Undecided && !r.CrashedNode(u) {
 			return fmt.Errorf("simasync: awake node %d did not decide", u)
 		}
 	}
@@ -359,6 +398,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	linkKey := func(src, dst int) uint64 { return uint64(src)<<32 | uint64(uint32(dst)) }
 	lastEvent := firstWake
 
+	inj := cfg.Faults
 	kindAware, _ := delays.(KindAwareDelayPolicy)
 	dispatch := func(u int, now float64, outs []proto.Send) error {
 		for _, s := range outs {
@@ -370,28 +410,43 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				continue
 			}
 			v, q := pm.Dest(u, s.Port)
-			var d float64
-			if kindAware != nil {
-				d = kindAware.DelayKind(u, s.Port, s.Msg.Kind, now, delayRNG)
-			} else {
-				d = delays.Delay(u, s.Port, now, delayRNG)
-			}
-			if d <= 0 {
-				d = 1e-9
-			}
-			if d > 1 {
-				d = 1
-			}
-			at := now + d
-			lk := linkKey(u, v)
-			if prev, ok := lastSched[lk]; ok && at < prev {
-				at = prev // FIFO: no overtaking on a link
-			}
-			lastSched[lk] = at
 			res.Messages++
 			res.Words += int64(s.Msg.Words())
 			res.PerKind[s.Msg.Kind]++
-			push(event{time: at, kind: evDeliver, node: v, d: proto.Delivery{Port: q, Msg: s.Msg}})
+			copies := 1
+			if inj != nil {
+				// Fault hook: per-delivery verdict. The message counts as
+				// sent either way; only its delivery fate changes. A
+				// duplicate gets its own delay draw, so the copies may arrive
+				// arbitrarily far apart (FIFO per link still holds).
+				switch inj.OnSend(u, v, s.Msg, now) {
+				case faults.Drop:
+					copies = 0
+				case faults.Duplicate:
+					copies = 2
+				}
+			}
+			for c := 0; c < copies; c++ {
+				var d float64
+				if kindAware != nil {
+					d = kindAware.DelayKind(u, s.Port, s.Msg.Kind, now, delayRNG)
+				} else {
+					d = delays.Delay(u, s.Port, now, delayRNG)
+				}
+				if d <= 0 {
+					d = 1e-9
+				}
+				if d > 1 {
+					d = 1
+				}
+				at := now + d
+				lk := linkKey(u, v)
+				if prev, ok := lastSched[lk]; ok && at < prev {
+					at = prev // FIFO: no overtaking on a link
+				}
+				lastSched[lk] = at
+				push(event{time: at, kind: evDeliver, node: v, d: proto.Delivery{Port: q, Msg: s.Msg}})
+			}
 		}
 		return nil
 	}
@@ -404,10 +459,20 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		}
 		processed++
 		e := heap.Pop(&h).(event)
+		u := e.node
+		if inj != nil {
+			// Fault hook: adaptive adversary tick, then the crash check for
+			// the event's node. A crashed node's events are lost — a sleeping
+			// victim never wakes, an in-flight delivery to it vanishes — and
+			// lost events do not extend the makespan.
+			inj.Tick(e.time)
+			if inj.CrashedAt(u, e.time) {
+				continue
+			}
+		}
 		if e.time > lastEvent {
 			lastEvent = e.time
 		}
-		u := e.node
 		switch e.kind {
 		case evWake:
 			if awake[u] {
@@ -435,6 +500,19 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		res.Decisions[u] = nodes[u].Decision()
 	}
 	res.TimeUnits = lastEvent - firstWake
+	// Final crash sweep: record every crash that fell within the run's span
+	// even if no event for the victim popped after its crash instant —
+	// otherwise a quiet victim (e.g. a leader that crashed after its last
+	// delivery) would still count as a survivor, diverging from the sync
+	// engine's every-node-every-round check.
+	if inj != nil {
+		for u := 0; u < n; u++ {
+			inj.CrashedAt(u, lastEvent)
+		}
+	}
+	res.Crashed = inj.Crashed()
+	res.Dropped = inj.Dropped()
+	res.Duplicated = inj.Duplicated()
 	return res, nil
 }
 

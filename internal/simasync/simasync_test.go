@@ -2,8 +2,10 @@ package simasync
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"cliquelect/internal/faults"
 	"cliquelect/internal/ids"
 	"cliquelect/internal/proto"
 	"cliquelect/internal/xrand"
@@ -390,5 +392,132 @@ func TestKindDelayPolicy(t *testing.T) {
 	}
 	if got := p.Delay(0, 0, 0, rng); got != 0.1 {
 		t.Fatalf("plain Delay = %v", got)
+	}
+}
+
+// --- fault injection hooks ---
+
+func faultInjector(t *testing.T, plan faults.Plan, n int, seed uint64) *faults.Injector {
+	t.Helper()
+	inj, err := faults.NewInjector(plan, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestFaultsCrashedRootNeverWakes crashes the only adversarially woken node
+// at time 0: the run must produce no messages and record the crash.
+func TestFaultsCrashedRootNeverWakes(t *testing.T) {
+	const n = 8
+	res, err := Run(Config{
+		N: n, IDs: ids.Sequential(ids.LinearUniverse(n, 1), n),
+		Wake: SubsetAtZero([]int{0}), Seed: 3,
+		Faults: faultInjector(t, faults.Plan{Crashes: []faults.Crash{{Node: 0, At: 0}}}, n, 9),
+	}, func(u int) Protocol { return &flooder{fan: 1, root: u == 0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 {
+		t.Fatalf("Messages = %d, want 0", res.Messages)
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != 0 {
+		t.Fatalf("Crashed = %v, want [0]", res.Crashed)
+	}
+	if res.WakeTime[0] >= 0 {
+		t.Fatalf("crashed root woke at %v", res.WakeTime[0])
+	}
+}
+
+// TestFaultsDropFirstKillsOpeningMove drops exactly the first message: the
+// token chain dies immediately but the send is still counted.
+func TestFaultsDropFirstKillsOpeningMove(t *testing.T) {
+	const n = 8
+	res, err := Run(Config{
+		N: n, IDs: ids.Sequential(ids.LinearUniverse(n, 1), n),
+		Wake: SubsetAtZero([]int{0}), Seed: 3,
+		Faults: faultInjector(t, faults.Plan{DropFirst: 1}, n, 9),
+	}, func(u int) Protocol { return &flooder{fan: 1, root: u == 0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 1 || res.Dropped != 1 {
+		t.Fatalf("Messages = %d, Dropped = %d, want 1, 1", res.Messages, res.Dropped)
+	}
+	for u := 1; u < n; u++ {
+		if res.WakeTime[u] >= 0 {
+			t.Fatalf("node %d woke despite the dropped token", u)
+		}
+	}
+}
+
+// TestFaultsDuplicateCopies duplicates every message: the protocol sends the
+// same count, the injector reports one extra copy per send, and receivers
+// see doubled deliveries.
+func TestFaultsDuplicateCopies(t *testing.T) {
+	const n = 4
+	res, err := Run(Config{
+		N: n, IDs: ids.Sequential(ids.LinearUniverse(n, 1), n),
+		Wake: SubsetAtZero([]int{0}), Seed: 3,
+		Faults: faultInjector(t, faults.Plan{DupRate: 1}, n, 9),
+	}, func(u int) Protocol { return &flooder{fan: 1, root: u == 0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicated != res.Messages || res.Duplicated == 0 {
+		t.Fatalf("Duplicated = %d, Messages = %d", res.Duplicated, res.Messages)
+	}
+}
+
+// TestFaultsZeroPlanIdentical runs the same execution with no injector and a
+// zero-plan injector: deeply identical results (no engine randomness used).
+func TestFaultsZeroPlanIdentical(t *testing.T) {
+	const n = 16
+	assign := ids.Random(ids.LogUniverse(n), n, xrand.New(7))
+	factory := func(u int) Protocol { return &flooder{fan: 3, root: u == 0} }
+	cfg := Config{N: n, IDs: assign, Wake: SubsetAtZero([]int{0}), Seed: 42,
+		Delays: UniformDelay{Lo: 0.05}}
+	plain, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = faultInjector(t, faults.Plan{}, n, 1234)
+	faulted, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, faulted) {
+		t.Fatalf("zero-plan run diverged:\nplain   %+v\nfaulted %+v", plain, faulted)
+	}
+}
+
+// TestFaultsQuietVictimStillRecorded: a crash that falls within the run's
+// span must be recorded even if no event for the victim ever pops after it
+// (final crash sweep), so a quietly crashed node never counts as a survivor.
+// Node 1 here has no events at all: nodes 0 and 2 wake silently at times 0
+// and 5, so only the sweep can observe node 1's crash at time 3.
+func TestFaultsQuietVictimStillRecorded(t *testing.T) {
+	const n = 3
+	silent := func(u int) Protocol { return &flooder{fan: 0, root: u == 0} }
+	cfg := Config{
+		N: n, IDs: ids.Sequential(ids.LinearUniverse(n, 1), n),
+		Wake: WakeSchedule{{Node: 0, Time: 0}, {Node: 2, Time: 5}}, Seed: 3,
+	}
+	cfg.Faults = faultInjector(t, faults.Plan{Crashes: []faults.Crash{{Node: 1, At: 3}}}, n, 9)
+	res, err := Run(cfg, silent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CrashedNode(1) {
+		t.Fatalf("mid-span crash of an event-less node not recorded: %v", res.Crashed)
+	}
+	// Scheduled beyond the run's span (last event at time 5): not recorded.
+	cfg.Faults = faultInjector(t, faults.Plan{Crashes: []faults.Crash{{Node: 1, At: 7}}}, n, 9)
+	res, err = Run(cfg, silent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedNode(1) {
+		t.Fatalf("crash beyond the run's span recorded: %v", res.Crashed)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cliquelect/internal/faults"
 	"cliquelect/internal/ids"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
@@ -106,6 +107,11 @@ type Config struct {
 	// Trace, when non-nil, records the communication graph of the run
 	// (needed by the lower-bound harnesses; costs extra memory).
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects crash-stop/drop/duplicate faults. Crash
+	// checks run at every round boundary (instant = round number) and every
+	// send passes through the injector. The injector's RNG is private, so a
+	// nil injector leaves executions byte-identical to fault-free runs.
+	Faults *faults.Injector
 	// Strict enables protocol-violation detection (duplicate sends on one
 	// port within a round). Tests enable it; large benchmark runs leave it
 	// off to keep the hot path allocation-free.
@@ -135,9 +141,18 @@ type Result struct {
 	TimedOut bool
 	// Truncated reports that MaxMessages was exhausted before quiescence.
 	Truncated bool
+	// Crashed lists (sorted) the nodes that crash-stopped during the run
+	// (fault injection only).
+	Crashed []int
+	// Dropped counts messages the fault injector lost; Duplicated counts the
+	// extra copies it delivered. Both are included in/excluded from Messages
+	// respectively: a dropped message was still sent, a duplicate was not.
+	Dropped    int64
+	Duplicated int64
 }
 
-// Leaders returns the indices of nodes that decided Leader.
+// Leaders returns the indices of nodes that decided Leader, including nodes
+// that crashed after deciding.
 func (r *Result) Leaders() []int {
 	var out []int
 	for u, d := range r.Decisions {
@@ -148,10 +163,32 @@ func (r *Result) Leaders() []int {
 	return out
 }
 
-// UniqueLeader returns the elected node index if the execution elected
-// exactly one leader, and -1 otherwise.
+// CrashedNode reports whether node u crash-stopped during the run.
+func (r *Result) CrashedNode(u int) bool {
+	for _, c := range r.Crashed {
+		if c == u {
+			return true
+		}
+	}
+	return false
+}
+
+// survivingLeaders is Leaders restricted to nodes that did not crash.
+func (r *Result) survivingLeaders() []int {
+	var out []int
+	for _, u := range r.Leaders() {
+		if !r.CrashedNode(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UniqueLeader returns the elected node index if exactly one surviving node
+// decided Leader (a crashed node's output is void, per the usual crash-stop
+// semantics), and -1 otherwise.
 func (r *Result) UniqueLeader() int {
-	ls := r.Leaders()
+	ls := r.survivingLeaders()
 	if len(ls) != 1 {
 		return -1
 	}
@@ -169,8 +206,10 @@ func (r *Result) AllAwake() bool {
 	return true
 }
 
-// Validate checks implicit leader election: exactly one leader, and every
-// awake node decided. It returns nil on success.
+// Validate checks implicit leader election restricted to surviving nodes:
+// exactly one surviving leader, and every awake surviving node decided
+// (crashed nodes owe nothing, as usual under crash-stop faults). It returns
+// nil on success.
 func (r *Result) Validate() error {
 	if r.TimedOut {
 		return errors.New("simsync: execution timed out")
@@ -178,11 +217,11 @@ func (r *Result) Validate() error {
 	if r.Truncated {
 		return fmt.Errorf("simsync: run truncated at %d messages", r.Messages)
 	}
-	if got := len(r.Leaders()); got != 1 {
-		return fmt.Errorf("simsync: %d leaders elected, want 1", got)
+	if got := len(r.survivingLeaders()); got != 1 {
+		return fmt.Errorf("simsync: %d surviving leaders elected, want 1", got)
 	}
 	for u, d := range r.Decisions {
-		if r.WakeRound[u] != 0 && d == proto.Undecided {
+		if r.WakeRound[u] != 0 && d == proto.Undecided && !r.CrashedNode(u) {
 			return fmt.Errorf("simsync: awake node %d did not decide", u)
 		}
 	}
@@ -258,6 +297,12 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	}
 	lastActivity := 1
 
+	inj := cfg.Faults
+	var dead []bool // crash-stopped nodes (fault injection only)
+	if inj != nil {
+		dead = make([]bool, n)
+	}
+
 	for r := 1; ; r++ {
 		if r > maxRounds {
 			res.TimedOut = true
@@ -267,10 +312,21 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			res.Truncated = true
 			break
 		}
+		// Fault hook: adaptive adversary tick, then crash checks, at the
+		// round boundary. A node crashed at round r sends and receives
+		// nothing from round r on; a sleeping victim never wakes.
+		if inj != nil {
+			inj.Tick(float64(r))
+			for u := 0; u < n; u++ {
+				if !dead[u] && inj.CrashedAt(u, float64(r)) {
+					dead[u] = true
+				}
+			}
+		}
 		// Send phase.
 		res.PerRound = append(res.PerRound, 0)
 		for u := 0; u < n; u++ {
-			if !awake[u] || nodes[u].Halted() {
+			if !awake[u] || nodes[u].Halted() || (dead != nil && dead[u]) {
 				continue
 			}
 			for _, s := range nodes[u].Send(r) {
@@ -295,7 +351,20 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				res.Words += int64(s.Msg.Words())
 				res.PerRound[r]++
 				res.PerKind[s.Msg.Kind]++
-				inbox[v] = append(inbox[v], proto.Delivery{Port: q, Msg: s.Msg})
+				copies := 1
+				if inj != nil {
+					// Fault hook: per-delivery verdict. The message counts as
+					// sent either way; only its delivery fate changes.
+					switch inj.OnSend(u, v, s.Msg, float64(r)) {
+					case faults.Drop:
+						copies = 0
+					case faults.Duplicate:
+						copies = 2
+					}
+				}
+				for c := 0; c < copies; c++ {
+					inbox[v] = append(inbox[v], proto.Delivery{Port: q, Msg: s.Msg})
+				}
 			}
 		}
 		if res.PerRound[r] > 0 {
@@ -305,6 +374,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		for v := 0; v < n; v++ {
 			box := inbox[v]
 			inbox[v] = nil
+			if dead != nil && dead[v] {
+				continue // a crashed node's inbox is lost with it
+			}
 			if len(box) > 0 && !awake[v] {
 				awake[v] = true
 				res.WakeRound[v] = r
@@ -320,12 +392,12 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				lastActivity = r
 			}
 		}
-		// Quiescence: every awake node halted. (Synchronous delivery is
-		// same-round, so nothing is in flight, and a sleeping node can never
-		// wake once all potential senders have halted.)
+		// Quiescence: every awake node halted or crashed. (Synchronous
+		// delivery is same-round, so nothing is in flight, and a sleeping
+		// node can never wake once all potential senders have halted.)
 		done := true
 		for u := 0; u < n; u++ {
-			if awake[u] && !nodes[u].Halted() {
+			if awake[u] && !nodes[u].Halted() && (dead == nil || !dead[u]) {
 				done = false
 				break
 			}
@@ -338,6 +410,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		res.Decisions[u] = nodes[u].Decision()
 	}
 	res.Rounds = lastActivity
+	res.Crashed = inj.Crashed()
+	res.Dropped = inj.Dropped()
+	res.Duplicated = inj.Duplicated()
 	return res, nil
 }
 

@@ -1,8 +1,10 @@
 package simsync
 
 import (
+	"reflect"
 	"testing"
 
+	"cliquelect/internal/faults"
 	"cliquelect/internal/ids"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
@@ -483,5 +485,110 @@ func TestConfigErrors(t *testing.T) {
 		N: 3, IDs: ids.Assignment{1, 2, 3}, Wake: AdversarialSet{Nodes: []int{9}},
 	}, func(int) Protocol { return &maxBroadcast{} }); err == nil {
 		t.Fatal("invalid wake node accepted")
+	}
+}
+
+// --- fault injection hooks ---
+
+func faultInjector(t *testing.T, plan faults.Plan, n int, seed uint64) *faults.Injector {
+	t.Helper()
+	inj, err := faults.NewInjector(plan, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestFaultsCrashVictimExcluded crashes the would-be winner at round 1: it
+// must send nothing, the survivors elect the runner-up, and Validate accepts
+// the election restricted to survivors.
+func TestFaultsCrashVictimExcluded(t *testing.T) {
+	const n = 8
+	assign := ids.Sequential(ids.LinearUniverse(n, 1), n)
+	victim := n - 1 // sequential IDs: the max-ID node
+	res, err := Run(Config{
+		N: n, IDs: assign, Seed: 5, Strict: true,
+		Faults: faultInjector(t, faults.Plan{Crashes: []faults.Crash{{Node: victim, At: 1}}}, n, 9),
+	}, func(int) Protocol { return &maxBroadcast{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Crashed; len(got) != 1 || got[0] != victim {
+		t.Fatalf("Crashed = %v, want [%d]", got, victim)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := res.UniqueLeader(); got != victim-1 {
+		t.Fatalf("leader = %d, want runner-up %d", got, victim-1)
+	}
+	if res.Decisions[victim] != proto.Undecided {
+		t.Fatalf("crashed node decided %v", res.Decisions[victim])
+	}
+}
+
+// TestFaultsDropAll loses every message: each node sees only itself, so all
+// claim leadership and validation fails with n surviving leaders.
+func TestFaultsDropAll(t *testing.T) {
+	const n = 6
+	assign := ids.Sequential(ids.LinearUniverse(n, 1), n)
+	res, err := Run(Config{
+		N: n, IDs: assign, Seed: 5,
+		Faults: faultInjector(t, faults.Plan{DropRate: 1}, n, 9),
+	}, func(int) Protocol { return &maxBroadcast{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != res.Messages || res.Dropped == 0 {
+		t.Fatalf("Dropped = %d, Messages = %d", res.Dropped, res.Messages)
+	}
+	if got := len(res.Leaders()); got != n {
+		t.Fatalf("%d leaders, want %d", got, n)
+	}
+	if err := res.Validate(); err == nil {
+		t.Fatal("Validate accepted an n-leader run")
+	}
+}
+
+// TestFaultsDuplicateIdempotent duplicates every delivery; maxBroadcast is
+// idempotent, so the election still succeeds and the counter matches.
+func TestFaultsDuplicateIdempotent(t *testing.T) {
+	const n = 6
+	assign := ids.Sequential(ids.LinearUniverse(n, 1), n)
+	res, err := Run(Config{
+		N: n, IDs: assign, Seed: 5,
+		Faults: faultInjector(t, faults.Plan{DupRate: 1}, n, 9),
+	}, func(int) Protocol { return &maxBroadcast{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicated != res.Messages {
+		t.Fatalf("Duplicated = %d, want %d", res.Duplicated, res.Messages)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestFaultsZeroPlanIdentical runs the same execution with no injector and
+// with a zero-plan injector: the results must be deeply identical (the
+// injector consumes no engine randomness).
+func TestFaultsZeroPlanIdentical(t *testing.T) {
+	const n = 16
+	assign := ids.Random(ids.LogUniverse(n), n, xrand.New(7))
+	factory := func(int) Protocol { return &maxBroadcast{} }
+	plain, err := Run(Config{N: n, IDs: assign, Seed: 42}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(Config{
+		N: n, IDs: assign, Seed: 42,
+		Faults: faultInjector(t, faults.Plan{}, n, 1234),
+	}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, faulted) {
+		t.Fatalf("zero-plan run diverged:\nplain   %+v\nfaulted %+v", plain, faulted)
 	}
 }
