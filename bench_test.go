@@ -14,6 +14,7 @@ import (
 
 	"cliquelect/elect"
 	"cliquelect/internal/lowerbound"
+	"cliquelect/internal/resultcache"
 )
 
 // benchElect runs complete elections per iteration through elect.Run and
@@ -204,6 +205,43 @@ func BenchmarkRunMany(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCachedRun measures the serving layer's result cache against
+// recomputation on the acceptance workload: a 1024-node run of the paper's
+// headline tradeoff algorithm, same spec/params/seed every iteration. The
+// cached path (content-hash fingerprint + stored-bytes decode) must be at
+// least an order of magnitude faster than re-executing the election.
+func BenchmarkCachedRun(b *testing.B) {
+	spec, err := elect.Lookup("tradeoff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []elect.Option{
+		elect.WithN(1024), elect.WithSeed(7),
+		elect.WithParams(elect.Params{K: 4}),
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := elect.Run(spec, opts...)
+			if err != nil || !res.OK {
+				b.Fatalf("err=%v ok=%v", err, res.OK)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := resultcache.New()
+		if _, hit, err := elect.RunCached(cache, spec, opts...); err != nil || hit {
+			b.Fatalf("warmup: err=%v hit=%v", err, hit)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, hit, err := elect.RunCached(cache, spec, opts...)
+			if err != nil || !hit || !res.OK {
+				b.Fatalf("err=%v hit=%v ok=%v", err, hit, res.OK)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationArrivalWiring quantifies the DESIGN.md ablation: the

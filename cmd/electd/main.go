@@ -1,0 +1,121 @@
+// Command electd serves leader elections over HTTP: an election-as-a-service
+// daemon with a bounded job queue, a worker pool over the elect engines, and
+// a content-addressed result cache that turns repeated deterministic runs —
+// the dominant shape of sweep traffic — into byte-identical replays.
+//
+//	electd -addr :8090 -cache-dir /var/cache/electd
+//
+//	curl -s localhost:8090/v1/specs
+//	curl -s -X POST localhost:8090/v1/run \
+//	     -d '{"spec":"tradeoff","n":1024,"seed":7,"params":{"k":4}}'
+//	curl -s -X POST localhost:8090/v1/batch \
+//	     -d '{"spec":"tradeoff","ns":[256,512],"seed_count":16,"async":true}'
+//	curl -N -H 'Accept: text/event-stream' localhost:8090/v1/jobs/<id>
+//	curl -s localhost:8090/healthz
+//
+// See the "Serving elections" section of the README for the full API, and
+// cliquelect/elect/client for the Go client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cliquelect/internal/resultcache"
+	"cliquelect/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "electd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a termination signal (or, in
+// tests, until stop closes). ready, when non-nil, receives the bound
+// address once the listener is up.
+func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("electd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8090", "listen address")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 256, "job queue depth beyond the running jobs")
+		cacheDir     = fs.String("cache-dir", "", "persistent result-cache directory (empty = memory only)")
+		cacheEntries = fs.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result-cache bound (0 = unbounded)")
+		noCache      = fs.Bool("no-cache", false, "disable the result cache entirely")
+		quiet        = fs.Bool("quiet", false, "suppress per-request logging")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := service.Config{Workers: *workers, QueueDepth: *queue}
+	if !*noCache {
+		copts := []resultcache.Option{resultcache.WithMaxEntries(*cacheEntries)}
+		if *cacheDir != "" {
+			copts = append(copts, resultcache.WithDir(*cacheDir))
+		}
+		cfg.Cache = resultcache.New(copts...)
+	}
+	logger := log.New(w, "electd: ", log.LstdFlags)
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+
+	srv := service.New(cfg)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving on %s (cache: %s)", ln.Addr(), cacheDesc(*noCache, *cacheDir))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	case <-stop:
+	}
+	logger.Printf("shutting down")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func cacheDesc(disabled bool, dir string) string {
+	switch {
+	case disabled:
+		return "disabled"
+	case dir != "":
+		return "memory + " + dir
+	}
+	return "memory"
+}

@@ -9,6 +9,7 @@
 //	faultsweep -algo tradeoff -ns 64,128 -drop 0,0.05,0.1,0.2
 //	faultsweep -algo all -ns 128 -crash 0,0.1,0.3 -csv
 //	faultsweep -algo asynctradeoff -drop 0.1 -faults adaptive=1,dup=0.02
+//	faultsweep -algo tradeoff -ns 256 -seeds 50 -cache /tmp/electcache
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"cliquelect/elect"
 	"cliquelect/internal/cliutil"
+	"cliquelect/internal/resultcache"
 	"cliquelect/internal/stats"
 )
 
@@ -71,6 +73,7 @@ func run(args []string, w io.Writer) error {
 		policy    = fs.String("policy", "unit", "async delay policy")
 		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		cacheDir  = fs.String("cache", "", "persistent result-cache directory; repeated sweeps replay cached runs (adaptive plans always re-execute)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +109,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		cache = resultcache.New(resultcache.WithDir(*cacheDir))
+	}
+
 	table := stats.NewTable("algo", "n", "crash", "drop", "success", "mean msgs",
 		"mean time", "crashed", "dropped", "dup'd")
 	for _, spec := range specs {
@@ -122,12 +130,16 @@ func run(args []string, w io.Writer) error {
 				if spec.Model == elect.Async {
 					opts = append(opts, elect.WithDelays(delays))
 				}
-				batch, err := elect.RunMany(spec, elect.Batch{
+				b := elect.Batch{
 					Ns:      ns,
 					Seeds:   elect.Seeds(*seed, *seeds),
 					Options: opts,
 					Workers: *workers,
-				})
+				}
+				if cache != nil {
+					b.Cache = cache
+				}
+				batch, err := elect.RunMany(spec, b)
 				if err != nil {
 					return err
 				}
@@ -144,6 +156,10 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprint(w, table.CSV())
 	} else {
 		fmt.Fprint(w, table.String())
+	}
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Fprintf(w, "# cache: %d hits (%d from disk), %d misses\n", s.Hits, s.DiskHits, s.Misses)
 	}
 	return nil
 }

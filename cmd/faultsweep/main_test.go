@@ -125,3 +125,28 @@ func TestSweepErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepCacheReplay: -cache leaves the table untouched (cold or warm)
+// and the warm pass is all hits.
+func TestSweepCacheReplay(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-algo", "tradeoff", "-ns", "32", "-drop", "0,0.1", "-seeds", "4"}
+	table := func(csv string) string {
+		var rows []string
+		for _, line := range strings.Split(csv, "\n") {
+			if !strings.HasPrefix(line, "#") {
+				rows = append(rows, line)
+			}
+		}
+		return strings.Join(rows, "\n")
+	}
+	plain := sweepCSV(t, args...)
+	cold := sweepCSV(t, append(args, "-cache", dir)...)
+	warm := sweepCSV(t, append(args, "-cache", dir)...)
+	if table(plain) != table(cold) || table(cold) != table(warm) {
+		t.Fatalf("cache changed the table:\n%s\n---\n%s\n---\n%s", plain, cold, warm)
+	}
+	if !strings.Contains(warm, ", 0 misses") {
+		t.Fatalf("warm pass was not all hits:\n%s", warm)
+	}
+}

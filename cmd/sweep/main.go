@@ -5,13 +5,19 @@
 //
 // The -json flag additionally writes the rows as machine-readable benchmark
 // output ("auto" names the file BENCH_<date>.json), so perf trajectories can
-// be tracked across commits.
+// be tracked across commits; -compare diffs the fresh rows against such a
+// prior file and fails on >10% regressions. The -cache flag stores every
+// run's result in a persistent content-addressed cache (shared with electd
+// and any other elect.Cache consumer), so repeated sweeps replay instead of
+// recompute.
 //
 // Usage:
 //
 //	sweep -algo tradeoff -k 3,4,5 -ns 256,512,1024,2048
 //	sweep -algo asynctradeoff -k 2,3 -ns 256,1024 -wake 1 -csv
 //	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -json auto
+//	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -compare BENCH_2026-07-30.json
+//	sweep -algo tradeoff -ns 4096 -seeds 50 -cache /tmp/electcache
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"cliquelect/elect"
 	"cliquelect/internal/cliutil"
+	"cliquelect/internal/resultcache"
 	"cliquelect/internal/stats"
 )
 
@@ -36,19 +43,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		algo    = fs.String("algo", "tradeoff", "algorithm name")
-		nsFlag  = fs.String("ns", "256,512,1024,2048", "comma-separated network sizes")
-		kFlag   = fs.String("k", "3", "comma-separated k values (tradeoff-family algorithms)")
-		d       = fs.Int("d", 2, "smallid d")
-		g       = fs.Int("g", 1, "smallid g")
-		eps     = fs.Float64("eps", 1.0/16, "advwake epsilon")
-		seeds   = fs.Int("seeds", 10, "runs per configuration")
-		seed    = fs.Uint64("seed", 1, "master seed")
-		wake    = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
-		policy  = fs.String("policy", "unit", "async delay policy")
-		workers = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
-		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut = fs.String("json", "", `also write machine-readable benchmark JSON to this path ("auto" = BENCH_<date>.json)`)
+		algo     = fs.String("algo", "tradeoff", "algorithm name")
+		nsFlag   = fs.String("ns", "256,512,1024,2048", "comma-separated network sizes")
+		kFlag    = fs.String("k", "3", "comma-separated k values (tradeoff-family algorithms)")
+		d        = fs.Int("d", 2, "smallid d")
+		g        = fs.Int("g", 1, "smallid g")
+		eps      = fs.Float64("eps", 1.0/16, "advwake epsilon")
+		seeds    = fs.Int("seeds", 10, "runs per configuration")
+		seed     = fs.Uint64("seed", 1, "master seed")
+		wake     = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
+		policy   = fs.String("policy", "unit", "async delay policy")
+		workers  = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut  = fs.String("json", "", `also write machine-readable benchmark JSON to this path ("auto" = BENCH_<date>.json)`)
+		compare  = fs.String("compare", "", "diff the new rows against this prior BENCH_*.json and fail on >10% regressions")
+		cacheDir = fs.String("cache", "", "persistent result-cache directory; repeated sweeps replay cached runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +79,11 @@ func run(args []string) error {
 		return err
 	}
 
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		cache = resultcache.New(resultcache.WithDir(*cacheDir))
+	}
+
 	table := stats.NewTable("k", "n", "mean msgs", "std", "mean time", "success")
 	bench := benchFile{
 		Date: time.Now().UTC().Format("2006-01-02"), Algo: *algo, Seeds: *seeds,
@@ -82,12 +96,16 @@ func run(args []string) error {
 		if spec.Model == elect.Async {
 			opts = append(opts, elect.WithDelays(delays))
 		}
-		batch, err := elect.RunMany(spec, elect.Batch{
+		b := elect.Batch{
 			Ns:      ns,
 			Seeds:   elect.Seeds(*seed+uint64(k)*104729, *seeds),
 			Options: opts,
 			Workers: *workers,
-		})
+		}
+		if cache != nil {
+			b.Cache = cache
+		}
+		batch, err := elect.RunMany(spec, b)
 		if err != nil {
 			return err
 		}
@@ -115,6 +133,10 @@ func run(args []string) error {
 	} else {
 		fmt.Print(table.String())
 	}
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Printf("# cache: %d hits (%d from disk), %d misses\n", s.Hits, s.DiskHits, s.Misses)
+	}
 	if *jsonOut != "" {
 		path := *jsonOut
 		if path == "auto" {
@@ -124,6 +146,69 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("# wrote %s\n", path)
+	}
+	if *compare != "" {
+		if err := compareBench(*compare, bench); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regressionThreshold flags rows whose cost grew (or success shrank) by
+// more than this fraction relative to the prior benchmark file.
+const regressionThreshold = 0.10
+
+// compareBench diffs the fresh rows against a prior benchFile, matching on
+// (algo, k, n): mean messages or mean time more than 10% above the prior
+// value — or a success rate more than 10% below it — is a regression, and
+// any regression makes the sweep exit non-zero so CI can gate on it.
+func compareBench(path string, fresh benchFile) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prior benchFile
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	type rowKey struct {
+		algo string
+		k, n int
+	}
+	old := make(map[rowKey]benchRow, len(prior.Rows))
+	for _, r := range prior.Rows {
+		old[rowKey{r.Algo, r.K, r.N}] = r
+	}
+	matched, regressions := 0, 0
+	flag := func(r benchRow, metric string, was, is float64) {
+		regressions++
+		fmt.Printf("# REGRESSION %s k=%d n=%d %s: %.4g -> %.4g (%+.1f%%)\n",
+			r.Algo, r.K, r.N, metric, was, is, 100*(is-was)/was)
+	}
+	for _, r := range fresh.Rows {
+		o, ok := old[rowKey{r.Algo, r.K, r.N}]
+		if !ok {
+			continue
+		}
+		matched++
+		if o.MeanMsgs > 0 && r.MeanMsgs > o.MeanMsgs*(1+regressionThreshold) {
+			flag(r, "mean_msgs", o.MeanMsgs, r.MeanMsgs)
+		}
+		if o.MeanTime > 0 && r.MeanTime > o.MeanTime*(1+regressionThreshold) {
+			flag(r, "mean_time", o.MeanTime, r.MeanTime)
+		}
+		if o.SuccessRate > 0 && r.SuccessRate < o.SuccessRate*(1-regressionThreshold) {
+			flag(r, "success_rate", o.SuccessRate, r.SuccessRate)
+		}
+	}
+	fmt.Printf("# compare: %d/%d rows matched against %s, %d regressions\n",
+		matched, len(fresh.Rows), path, regressions)
+	if matched == 0 {
+		return fmt.Errorf("no rows of this sweep match %s (algo/k/n differ)", path)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d regressions >%d%% vs %s", regressions, int(100*regressionThreshold), path)
 	}
 	return nil
 }

@@ -64,3 +64,73 @@ func TestSweepJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepCompare: a sweep compared against its own rows is clean; against
+// a doctored prior claiming cheaper rows it fails with regressions flagged.
+func TestSweepCompare(t *testing.T) {
+	dir := t.TempDir()
+	prior := filepath.Join(dir, "prior.json")
+	args := []string{"-algo", "tradeoff", "-k", "3", "-ns", "32,64", "-seeds", "2"}
+	if err := run(append(args, "-json", prior)); err != nil {
+		t.Fatal(err)
+	}
+	// Same sweep, same seeds: byte-deterministic rows, zero regressions.
+	if err := run(append(args, "-compare", prior)); err != nil {
+		t.Fatalf("self-comparison flagged regressions: %v", err)
+	}
+
+	// A prior that claims half the messages makes every row a >10% regression.
+	data, err := os.ReadFile(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench benchFile
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	doctored := bench
+	doctored.Rows = append([]benchRow(nil), bench.Rows...)
+	for i := range doctored.Rows {
+		doctored.Rows[i].MeanMsgs /= 2
+	}
+	cheap := filepath.Join(dir, "cheap.json")
+	if err := writeBenchJSON(cheap, doctored); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-compare", cheap)); err == nil {
+		t.Fatal("regressions not flagged")
+	}
+
+	// A prior with no matching (algo, k, n) rows is an error, not a silent pass.
+	for i := range doctored.Rows {
+		doctored.Rows[i].K = 99
+	}
+	unmatched := filepath.Join(dir, "unmatched.json")
+	if err := writeBenchJSON(unmatched, doctored); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-compare", unmatched)); err == nil {
+		t.Fatal("unmatched comparison accepted")
+	}
+	if err := run(append(args, "-compare", filepath.Join(dir, "missing.json"))); err == nil {
+		t.Fatal("missing compare file accepted")
+	}
+}
+
+// TestSweepCacheFlag: -cache persists run results on disk and replays them
+// on the next invocation.
+func TestSweepCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-algo", "tradeoff", "-k", "3", "-ns", "32", "-seeds", "2", "-cache", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("cache dir holds %d entries (err %v), want 2", len(entries), err)
+	}
+	// Second invocation replays from the same cache without error.
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}

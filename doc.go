@@ -12,6 +12,27 @@
 //     unified Result, RunMany worker-pool sweeps, and fault injection
 //     (WithFaults: deterministic crash-stop/drop/duplicate plans plus
 //     adaptive adversaries, with OK semantics restricted to survivors).
+//     Also the stable JSON wire codec (EncodeResult/EncodeBatchResult) and
+//     the content-address machinery (Fingerprint, Cache, RunCached).
+//   - elect/client — Go client for the electd daemon, and the daemon's
+//     wire schema (shared with internal/service).
+//
+// # Serving elections
+//
+// cmd/electd is an election-as-a-service HTTP daemon: POST /v1/run and
+// POST /v1/batch execute (or enqueue, with "async":true) elections on a
+// bounded job queue + worker pool (internal/jobs); GET /v1/jobs/{id}
+// reports a job and streams progress over SSE; GET /v1/specs lists the
+// registry; /healthz reports job and cache counters.
+//
+// The serving layer leans on the determinism contract: EngineSync and
+// EngineAsync reproduce byte-identical Results from identical inputs, so
+// every deterministic run is memoizable. internal/resultcache stores
+// encoded results under elect.Fingerprint content hashes (in-memory LRU +
+// optional on-disk tier); repeated runs — the dominant shape of sweep
+// traffic — are replayed byte-for-byte instead of re-executed. Live-engine
+// runs and adaptive-adversary plans are uncacheable and bypass the cache.
+// cmd/sweep and cmd/faultsweep share the same cache via -cache DIR.
 //
 // The implementation lives under internal/:
 //
@@ -26,10 +47,14 @@
 //   - internal/lowerbound — executable adversaries for Theorems 3.8, 3.11,
 //     3.16 and 4.2.
 //   - internal/experiments — the Table-1 reproduction harness (E1..E13).
+//   - internal/jobs, internal/resultcache, internal/service — the serving
+//     layer behind cmd/electd (job queue, result cache, HTTP handlers).
 //   - cmd/elect, cmd/sweep, cmd/faultsweep, cmd/experiments,
-//     cmd/lowerbound — CLIs; cmd/faultsweep prints resilience tables
-//     (election-success rate under swept crash/drop rates) and cmd/sweep
-//     -json writes BENCH_<date>.json perf artifacts.
+//     cmd/lowerbound, cmd/electd — CLIs; cmd/faultsweep prints resilience
+//     tables (election-success rate under swept crash/drop rates) and
+//     cmd/sweep -json writes BENCH_<date>.json perf artifacts, diffable
+//     against a prior file with -compare (exits non-zero on >10%
+//     regressions).
 //   - examples/ — runnable scenarios, each with a smoke test.
 //
 // See README.md for a tour and quickstart.

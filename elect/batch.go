@@ -1,12 +1,18 @@
 package elect
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cliquelect/internal/stats"
 )
+
+// ErrCanceled is returned by RunMany when its Batch.Cancel channel closes
+// before every run was dispatched.
+var ErrCanceled = errors.New("elect: batch canceled")
 
 // Seeds returns count consecutive seeds starting at base — the usual seed
 // list for a Batch.
@@ -31,15 +37,31 @@ type Batch struct {
 	Options []Option
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Cache, when non-nil, routes every run through RunCached: deterministic
+	// (n, seed) cells that were computed before — by any Run, RunMany or
+	// electd job sharing the cache — are replayed from their stored bytes
+	// instead of re-executed. Uncacheable runs execute normally.
+	Cache Cache
+	// OnResult, when non-nil, is called once per completed run with the
+	// number of runs finished so far and the batch total. Calls arrive from
+	// the worker goroutines (at most one at a time per worker, but
+	// concurrently across workers), so the callback must be cheap and
+	// thread-safe; done is monotone across the calls taken together but
+	// individual calls may arrive out of order.
+	OnResult func(done, total int)
+	// Cancel, when non-nil, aborts the batch as soon as the channel is
+	// closed: in-flight runs finish, queued ones are never dispatched, and
+	// RunMany returns ErrCanceled.
+	Cancel <-chan struct{}
 }
 
 // Summary holds summary statistics of one measurement across a batch.
 type Summary struct {
-	Mean   float64
-	Std    float64
-	Min    float64
-	Max    float64
-	Median float64
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
 }
 
 func newSummary(xs []float64) Summary {
@@ -49,41 +71,43 @@ func newSummary(xs []float64) Summary {
 
 // Aggregate summarizes all runs of one network size.
 type Aggregate struct {
-	N int
+	N int `json:"n"`
 	// Runs is the number of seeds executed at this size.
-	Runs int
+	Runs int `json:"runs"`
 	// Successes counts runs that elected a valid unique leader (OK; under
 	// WithFaults, restricted to surviving nodes).
-	Successes int
+	Successes int `json:"successes"`
 	// SuccessRate is Successes/Runs — the election-success rate, the headline
 	// resilience measure under fault injection.
-	SuccessRate float64
+	SuccessRate float64 `json:"success_rate"`
 	// Messages summarizes the message complexity across seeds.
-	Messages Summary
+	Messages Summary `json:"messages"`
 	// Time summarizes the time complexity across seeds: rounds on the sync
 	// engine, time units on the async simulator, zero on the live engine.
-	Time Summary
+	Time Summary `json:"time"`
 	// MeanCrashed, MeanDropped and MeanDuplicated are the mean fault-injection
 	// counters per run (all zero without WithFaults).
-	MeanCrashed    float64
-	MeanDropped    float64
-	MeanDuplicated float64
+	MeanCrashed    float64 `json:"mean_crashed"`
+	MeanDropped    float64 `json:"mean_dropped"`
+	MeanDuplicated float64 `json:"mean_duplicated"`
 }
 
-// BatchResult is the outcome of one RunMany.
+// BatchResult is the outcome of one RunMany. Like Result, its json tags are
+// the stable v1 wire form (see EncodeBatchResult).
 type BatchResult struct {
 	// Runs holds every per-seed Result in deterministic order: size-major,
 	// seed-minor (Runs[i*len(Seeds)+j] is size Ns[i] with seed Seeds[j]).
-	Runs []Result
+	Runs []Result `json:"runs"`
 	// Aggregates holds one Aggregate per size, in Ns order.
-	Aggregates []Aggregate
+	Aggregates []Aggregate `json:"aggregates"`
 }
 
 // RunMany fans the batch's (size, seed) grid across a worker pool and
 // returns every per-seed result plus per-size aggregates. Each run is an
 // independent Run call, so on the deterministic engines the results are
 // byte-identical whatever the worker count — RunMany(…, Workers: 1) and
-// RunMany(…, Workers: 8) agree. The first run error aborts the batch.
+// RunMany(…, Workers: 8) agree, and a warm Batch.Cache replays the very
+// same bytes a cold one computes. The first run error aborts the batch.
 func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 	ns := b.Ns
 	if len(ns) == 0 {
@@ -109,6 +133,7 @@ func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 	jobs := make(chan job)
 	runs := make([]Result, len(ns)*len(seeds))
 	errs := make([]error, len(runs))
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -118,17 +143,39 @@ func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 				opts := make([]Option, 0, len(b.Options)+2)
 				opts = append(opts, b.Options...)
 				opts = append(opts, WithN(j.n), WithSeed(j.seed))
-				runs[j.idx], errs[j.idx] = Run(spec, opts...)
+				runs[j.idx], _, errs[j.idx] = RunCached(b.Cache, spec, opts...)
+				if b.OnResult != nil {
+					b.OnResult(int(completed.Add(1)), len(runs))
+				}
 			}
 		}()
 	}
+	canceled := false
+dispatch:
 	for i, n := range ns {
 		for j, seed := range seeds {
-			jobs <- job{idx: i*len(seeds) + j, n: n, seed: seed}
+			// A closed Cancel must win over a ready worker, so check it alone
+			// first: the two-case select below picks at random when both are
+			// ready.
+			select {
+			case <-b.Cancel:
+				canceled = true
+				break dispatch
+			default:
+			}
+			select {
+			case <-b.Cancel:
+				canceled = true
+				break dispatch
+			case jobs <- job{idx: i*len(seeds) + j, n: n, seed: seed}:
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if canceled {
+		return nil, ErrCanceled
+	}
 
 	for idx, err := range errs {
 		if err != nil {

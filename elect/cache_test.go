@@ -1,0 +1,284 @@
+package elect
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memCache is a minimal Cache for tests, with hit/miss accounting.
+type memCache struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	hits   int
+	misses int
+}
+
+func newMemCache() *memCache { return &memCache{m: map[string][]byte{}} }
+
+func (c *memCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *memCache) Put(key string, value []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = append([]byte(nil), value...)
+}
+
+func mustSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	spec, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestFingerprintStableAcrossOptionOrder(t *testing.T) {
+	spec := mustSpec(t, "tradeoff")
+	a, err := Fingerprint(spec, WithN(128), WithSeed(9), WithParams(Params{K: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(spec, WithParams(Params{K: 4}), WithSeed(9), WithN(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("option order changed the key: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.Trim(a, "0123456789abcdef") != "" {
+		t.Errorf("key %q is not hex SHA-256", a)
+	}
+}
+
+// TestFingerprintNeverCollides drives the satellite requirement directly:
+// differing fault plans, params, seeds — or any other run-affecting knob —
+// never share a key.
+func TestFingerprintNeverCollides(t *testing.T) {
+	tradeoff := mustSpec(t, "tradeoff")
+	async := mustSpec(t, "asynctradeoff")
+	variants := []struct {
+		name string
+		spec Spec
+		opts []Option
+	}{
+		{"base", tradeoff, nil},
+		{"other-spec", mustSpec(t, "afekgafni"), nil},
+		{"n", tradeoff, []Option{WithN(65)}},
+		{"seed", tradeoff, []Option{WithSeed(2)}},
+		{"params-k", tradeoff, []Option{WithParams(Params{K: 4, D: 2, G: 1, Eps: 1.0 / 16})}},
+		{"params-eps", tradeoff, []Option{WithParams(Params{K: 3, D: 2, G: 1, Eps: 0.25})}},
+		{"faults-drop", tradeoff, []Option{WithFaults(FaultPlan{DropRate: 0.1})}},
+		{"faults-drop2", tradeoff, []Option{WithFaults(FaultPlan{DropRate: 0.2})}},
+		{"faults-crash", tradeoff, []Option{WithFaults(FaultPlan{CrashRate: 0.1})}},
+		{"faults-window", tradeoff, []Option{WithFaults(FaultPlan{CrashRate: 0.1, CrashWindow: 4})}},
+		{"faults-dropfirst", tradeoff, []Option{WithFaults(FaultPlan{DropFirst: 3})}},
+		{"faults-dup", tradeoff, []Option{WithFaults(FaultPlan{DupRate: 0.1})}},
+		{"faults-explicit-crash", tradeoff, []Option{WithFaults(FaultPlan{Crashes: []Crash{{Node: 1, At: 2}}})}},
+		{"budget", tradeoff, []Option{WithMessageBudget(1 << 20)}},
+		{"explicit", tradeoff, []Option{WithExplicit()}},
+		{"trace", tradeoff, []Option{WithTrace()}},
+		{"wake", tradeoff, []Option{WithWake(3)}},
+		{"wakeset", tradeoff, []Option{WithWakeSet([]int{0, 1, 2})}},
+		{"ids", tradeoff, []Option{WithN(2), WithIDs([]int64{5, 9})}},
+		{"async-base", async, nil},
+		{"async-delays", async, []Option{WithDelays(DelayUniform)}},
+	}
+	seen := map[string]string{}
+	for _, v := range variants {
+		key, err := Fingerprint(v.spec, v.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("variants %s and %s collide on %s", prev, v.name, key)
+		}
+		seen[key] = v.name
+	}
+}
+
+func TestFingerprintUncacheable(t *testing.T) {
+	async := mustSpec(t, "asynctradeoff")
+	if _, err := Fingerprint(async, WithParams(Params{K: 2}), WithEngine(EngineLive)); err == nil {
+		t.Error("live engine got a fingerprint")
+	}
+	tradeoff := mustSpec(t, "tradeoff")
+	if _, err := Fingerprint(tradeoff, WithFaults(FaultPlan{NewAdversary: CrashLowestSender(1)})); err == nil {
+		t.Error("adaptive adversary got a fingerprint")
+	}
+	if _, err := Fingerprint(Spec{Name: "handmade"}); err == nil {
+		t.Error("non-registry spec got a fingerprint")
+	}
+}
+
+func TestRunCachedHitIsByteIdentical(t *testing.T) {
+	cache := newMemCache()
+	spec := mustSpec(t, "tradeoff")
+	opts := []Option{WithN(64), WithSeed(11), WithParams(Params{K: 4})}
+
+	cold, hit, err := RunCached(cache, spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold run reported a cache hit")
+	}
+	warm, hit, err := RunCached(cache, spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warm run missed the cache")
+	}
+	coldBytes, _ := EncodeResult(cold)
+	warmBytes, _ := EncodeResult(warm)
+	if !bytes.Equal(coldBytes, warmBytes) {
+		t.Errorf("cached replay not byte-identical:\n %s\n %s", coldBytes, warmBytes)
+	}
+
+	// The live engine bypasses the cache entirely.
+	async := mustSpec(t, "asynctradeoff")
+	liveOpts := []Option{WithN(16), WithSeed(1), WithParams(Params{K: 2}), WithEngine(EngineLive)}
+	if _, hit, err := RunCached(cache, async, liveOpts...); err != nil || hit {
+		t.Fatalf("live run: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := RunCached(cache, async, liveOpts...); err != nil || hit {
+		t.Fatalf("repeated live run: hit=%v err=%v, want bypass", hit, err)
+	}
+}
+
+func TestRunCachedCorruptEntryRecovers(t *testing.T) {
+	cache := newMemCache()
+	spec := mustSpec(t, "tradeoff")
+	opts := []Option{WithN(32), WithSeed(5)}
+	key, err := Fingerprint(spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, []byte("not json"))
+	res, hit, err := RunCached(cache, spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || !res.OK {
+		t.Fatalf("corrupt entry: hit=%v ok=%v, want recompute", hit, res.OK)
+	}
+	if _, hit, _ := RunCached(cache, spec, opts...); !hit {
+		t.Error("recomputed entry was not stored back")
+	}
+}
+
+// TestFingerprintRunVsRunMany proves the satellite property end to end: the
+// same logical run reaches the same key whether it goes through Run or
+// through RunMany's (n, seed) grid, so each side hits entries the other
+// side stored.
+func TestFingerprintRunVsRunMany(t *testing.T) {
+	cache := newMemCache()
+	spec := mustSpec(t, "tradeoff")
+	shared := []Option{WithParams(Params{K: 4})}
+
+	batch, err := RunMany(spec, Batch{
+		Ns: []int{16, 32}, Seeds: Seeds(1, 2), Options: shared, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.m) != 4 {
+		t.Fatalf("batch stored %d entries, want 4", len(cache.m))
+	}
+	for i, n := range []int{16, 32} {
+		for j, seed := range []uint64{1, 2} {
+			opts := append([]Option{}, shared...)
+			opts = append(opts, WithN(n), WithSeed(seed))
+			key, err := Fingerprint(spec, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cache.m[key]; !ok {
+				t.Fatalf("single-run key for n=%d seed=%d not in batch-populated cache", n, seed)
+			}
+			res, hit, err := RunCached(cache, spec, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hit {
+				t.Errorf("n=%d seed=%d: Run missed the RunMany-populated cache", n, seed)
+			}
+			if !reflect.DeepEqual(res, batch.Runs[i*2+j]) {
+				t.Errorf("n=%d seed=%d: cached Run diverged from batch result", n, seed)
+			}
+		}
+	}
+}
+
+func TestRunManyCacheReplayIdentical(t *testing.T) {
+	spec := mustSpec(t, "tradeoff")
+	b := Batch{Ns: []int{16, 32}, Seeds: Seeds(1, 3)}
+	plain, err := RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newMemCache()
+	b.Cache = cache
+	cold, err := RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBytes, _ := EncodeBatchResult(plain)
+	coldBytes, _ := EncodeBatchResult(cold)
+	warmBytes, _ := EncodeBatchResult(warm)
+	if !bytes.Equal(plainBytes, coldBytes) || !bytes.Equal(coldBytes, warmBytes) {
+		t.Error("cached batch replay diverged from uncached batch")
+	}
+	if cache.hits < 6 {
+		t.Errorf("warm batch produced %d hits, want >= 6", cache.hits)
+	}
+}
+
+func TestRunManyProgressAndCancel(t *testing.T) {
+	spec := mustSpec(t, "tradeoff")
+	var mu sync.Mutex
+	var calls, maxDone, total int
+	_, err := RunMany(spec, Batch{
+		Ns: []int{16, 32}, Seeds: Seeds(1, 3),
+		OnResult: func(done, tot int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if done > maxDone {
+				maxDone = done
+			}
+			total = tot
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 || maxDone != 6 || total != 6 {
+		t.Errorf("progress: calls=%d maxDone=%d total=%d, want 6/6/6", calls, maxDone, total)
+	}
+
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := RunMany(spec, Batch{
+		Ns: []int{16, 32}, Seeds: Seeds(1, 8), Cancel: cancel,
+	}); err != ErrCanceled {
+		t.Errorf("pre-canceled batch returned %v, want ErrCanceled", err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package client is the Go client for electd, the election-as-a-service
+// daemon (cmd/electd), and the home of the daemon's wire schema (wire.go),
+// which the server side imports too.
+//
+//	c := client.New("http://localhost:8090")
+//	resp, err := c.Run(ctx, client.RunRequest{Spec: "tradeoff", N: 1024, Seed: 7})
+//	fmt.Println(resp.Result.LeaderID, resp.CacheHit)
+//
+// Asynchronous jobs stream progress over SSE:
+//
+//	st, _ := c.SubmitBatch(ctx, client.BatchRequest{Spec: "tradeoff", Ns: []int{256, 512}, SeedCount: 32})
+//	final, err := c.Stream(ctx, st.ID, func(s client.JobStatus) { fmt.Println(s.Done, "/", s.Total) })
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one electd base URL. The zero value is not usable;
+// construct with New. Clients are safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// ClientOption configures New.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) ClientOption { return func(c *Client) { c.http = h } }
+
+// New builds a client for the daemon at base, e.g. "http://localhost:8090".
+func New(base string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx daemon answer.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("electd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Run executes one election synchronously and returns its result. The
+// request's Async field is forced off; use Submit for fire-and-poll.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	req.Async = false
+	var out RunResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit enqueues one election and returns the queued job immediately.
+func (c *Client) Submit(ctx context.Context, req RunRequest) (*JobStatus, error) {
+	req.Async = true
+	var out RunResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &out); err != nil {
+		return nil, err
+	}
+	return &out.Job, nil
+}
+
+// Batch executes a sweep synchronously and returns its aggregate result.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	req.Async = false
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitBatch enqueues a sweep and returns the queued job immediately.
+func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (*JobStatus, error) {
+	req.Async = true
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out.Job, nil
+}
+
+// Job fetches one job, including its result once terminal.
+func (c *Client) Job(ctx context.Context, id string) (*JobResponse, error) {
+	var out JobResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists every job the daemon knows.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out JobsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Specs lists the registered protocols.
+func (c *Client) Specs(ctx context.Context) ([]SpecInfo, error) {
+	var out SpecsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/specs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Specs, nil
+}
+
+// Health fetches the daemon's health and counters.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait polls a job until it is terminal (or ctx expires) and returns the
+// final JobResponse. poll <= 0 means 100ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobResponse, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		resp, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Job.Terminal() {
+			return resp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Stream consumes the job's SSE progress feed, invoking fn (if non-nil) for
+// every status event, and returns the final JobResponse once the job is
+// terminal. It needs no polling: the daemon pushes each progress change.
+func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*JobResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data:") {
+			continue // event: lines, comments, keep-alives, blank separators
+		}
+		var st JobStatus
+		if err := json.Unmarshal([]byte(strings.TrimSpace(line[len("data:"):])), &st); err != nil {
+			return nil, fmt.Errorf("electd: bad SSE payload: %w", err)
+		}
+		if fn != nil {
+			fn(st)
+		}
+		if st.Terminal() {
+			return c.Job(ctx, id)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("electd: SSE stream ended before job %s finished", id)
+}
+
+// do performs one JSON round trip.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("electd: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var e ErrorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}

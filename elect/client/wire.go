@@ -1,0 +1,298 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"cliquelect/elect"
+)
+
+// This file defines the electd wire schema: the JSON request and response
+// bodies spoken on both sides of the daemon's HTTP API. The daemon
+// (internal/service) imports these types rather than redeclaring them, so
+// client and server cannot drift. Like the elect result codec, the schema
+// is stable v1: field renames and retypes are wire breaks, additions are
+// fine.
+
+// ParamSpec is the wire form of elect.Params with explicit presence: nil
+// fields keep their elect.DefaultParams value, set fields override it. That
+// way {"params":{"k":4}} means "K=4, everything else default" instead of
+// zeroing the untouched parameters.
+type ParamSpec struct {
+	K   *int     `json:"k,omitempty"`
+	D   *int     `json:"d,omitempty"`
+	G   *int     `json:"g,omitempty"`
+	Eps *float64 `json:"eps,omitempty"`
+}
+
+// merge applies the set fields over base.
+func (p *ParamSpec) merge(base elect.Params) elect.Params {
+	if p == nil {
+		return base
+	}
+	if p.K != nil {
+		base.K = *p.K
+	}
+	if p.D != nil {
+		base.D = *p.D
+	}
+	if p.G != nil {
+		base.G = *p.G
+	}
+	if p.Eps != nil {
+		base.Eps = *p.Eps
+	}
+	return base
+}
+
+// Options carries the run knobs shared by single runs and batches; the
+// zero value is "all defaults". Fields correspond one-to-one to elect's
+// functional options.
+type Options struct {
+	// Engine pins the execution engine: "auto" (default), "sync", "async"
+	// or "live". Live runs are nondeterministic and always bypass the
+	// result cache.
+	Engine string `json:"engine,omitempty"`
+	// Params overrides protocol parameters field by field (see ParamSpec).
+	Params *ParamSpec `json:"params,omitempty"`
+	// Delays names the async delay profile: "unit" (default), "uniform",
+	// "skew".
+	Delays string `json:"delays,omitempty"`
+	// Wake samples an adversarial wake-up set of this size; WakeSet names
+	// the woken nodes explicitly and overrides Wake.
+	Wake    int   `json:"wake,omitempty"`
+	WakeSet []int `json:"wake_set,omitempty"`
+	// IDs supplies an explicit ID assignment (single runs; the length must
+	// equal n).
+	IDs []int64 `json:"ids,omitempty"`
+	// Budget aborts runs beyond this many messages.
+	Budget int64 `json:"budget,omitempty"`
+	// Explicit wraps synchronous protocols in the explicit-election
+	// transformation.
+	Explicit bool `json:"explicit,omitempty"`
+	// Trace attaches the communication-graph summary (sync engine only).
+	Trace bool `json:"trace,omitempty"`
+	// Faults is a fault plan in elect.ParseFaults syntax, e.g.
+	// "drop=0.1,crash=0.05". Plans with "adaptive=N" are uncacheable and
+	// bypass the result cache.
+	Faults string `json:"faults,omitempty"`
+	// NoCache bypasses the daemon's result cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// resolve converts the wire knobs into elect functional options.
+func (o Options) resolve(model elect.Model) ([]elect.Option, error) {
+	opts := []elect.Option{elect.WithParams(o.Params.merge(elect.DefaultParams()))}
+	if o.Engine != "" {
+		eng, err := elect.ParseEngine(o.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, elect.WithEngine(eng))
+	}
+	if o.Delays != "" {
+		// WithDelays errors on the sync engine even for the default profile,
+		// so only forward it when it means something.
+		profile, err := elect.ParseDelays(o.Delays)
+		if err != nil {
+			return nil, err
+		}
+		if model != elect.Async {
+			return nil, fmt.Errorf("delays apply to asynchronous specs only")
+		}
+		opts = append(opts, elect.WithDelays(profile))
+	}
+	if o.WakeSet != nil {
+		opts = append(opts, elect.WithWakeSet(o.WakeSet))
+	} else if o.Wake > 0 {
+		opts = append(opts, elect.WithWake(o.Wake))
+	}
+	if o.IDs != nil {
+		opts = append(opts, elect.WithIDs(o.IDs))
+	}
+	if o.Budget > 0 {
+		opts = append(opts, elect.WithMessageBudget(o.Budget))
+	}
+	if o.Explicit {
+		opts = append(opts, elect.WithExplicit())
+	}
+	if o.Trace {
+		opts = append(opts, elect.WithTrace())
+	}
+	if o.Faults != "" {
+		plan, err := elect.ParseFaults(o.Faults)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, elect.WithFaults(plan))
+	}
+	return opts, nil
+}
+
+// RunRequest is the body of POST /v1/run: one election.
+type RunRequest struct {
+	// Spec names the protocol (see GET /v1/specs).
+	Spec string `json:"spec"`
+	// N is the clique size; 0 means 64.
+	N int `json:"n,omitempty"`
+	// Seed drives everything reproducible about the run.
+	Seed uint64 `json:"seed,omitempty"`
+	Options
+	// Async makes the daemon return a queued job immediately (HTTP 202)
+	// instead of waiting for the result; poll or stream GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// Resolve looks up the spec and converts the request into elect options.
+func (r RunRequest) Resolve() (elect.Spec, []elect.Option, error) {
+	spec, err := elect.Lookup(r.Spec)
+	if err != nil {
+		return elect.Spec{}, nil, err
+	}
+	opts, err := r.Options.resolve(spec.Model)
+	if err != nil {
+		return elect.Spec{}, nil, err
+	}
+	if r.N > 0 {
+		opts = append(opts, elect.WithN(r.N))
+	}
+	opts = append(opts, elect.WithSeed(r.Seed))
+	return spec, opts, nil
+}
+
+// BatchRequest is the body of POST /v1/batch: a multi-size, multi-seed
+// sweep of one spec.
+type BatchRequest struct {
+	Spec string `json:"spec"`
+	// Ns lists the network sizes; empty means {64}.
+	Ns []int `json:"ns,omitempty"`
+	// Seeds lists the seeds per size. The SeedBase/SeedCount pair is the
+	// compact alternative (seeds base..base+count-1); setting both it and
+	// Seeds is an error. All empty means {1}.
+	Seeds     []uint64 `json:"seeds,omitempty"`
+	SeedBase  uint64   `json:"seed_base,omitempty"`
+	SeedCount int      `json:"seed_count,omitempty"`
+	// Workers bounds the per-job worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	Options
+	// Async, as in RunRequest.
+	Async bool `json:"async,omitempty"`
+}
+
+// Resolve converts the request into a spec and an elect.Batch.
+func (r BatchRequest) Resolve() (elect.Spec, elect.Batch, error) {
+	spec, err := elect.Lookup(r.Spec)
+	if err != nil {
+		return elect.Spec{}, elect.Batch{}, err
+	}
+	opts, err := r.Options.resolve(spec.Model)
+	if err != nil {
+		return elect.Spec{}, elect.Batch{}, err
+	}
+	seeds := r.Seeds
+	if r.SeedBase != 0 || r.SeedCount != 0 {
+		if len(seeds) > 0 {
+			return elect.Spec{}, elect.Batch{}, fmt.Errorf("set either seeds or seed_base/seed_count, not both")
+		}
+		if r.SeedCount <= 0 {
+			return elect.Spec{}, elect.Batch{}, fmt.Errorf("seed_base without a positive seed_count")
+		}
+		seeds = elect.Seeds(r.SeedBase, r.SeedCount)
+	}
+	return spec, elect.Batch{
+		Ns: r.Ns, Seeds: seeds, Options: opts, Workers: r.Workers,
+	}, nil
+}
+
+// JobStatus is the wire view of one job (see GET /v1/jobs/{id} and the SSE
+// progress events).
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"` // "run" or "batch"
+	Spec  string `json:"spec"`
+	State string `json:"state"` // queued, running, done, failed, canceled
+	Error string `json:"error,omitempty"`
+	// Done/Total are the progress counters: runs completed vs. runs in the
+	// job (1/1 for single runs).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// CacheHit reports that a single run was served from the result cache.
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s.State == "done" || s.State == "failed" || s.State == "canceled"
+}
+
+// RunResponse is the body answering POST /v1/run and GET /v1/jobs/{id} for
+// run jobs: the job view plus, once done, the result.
+type RunResponse struct {
+	Job      JobStatus     `json:"job"`
+	Result   *elect.Result `json:"result,omitempty"`
+	CacheHit bool          `json:"cache_hit"`
+}
+
+// BatchResponse is the batch counterpart of RunResponse.
+type BatchResponse struct {
+	Job    JobStatus          `json:"job"`
+	Result *elect.BatchResult `json:"result,omitempty"`
+}
+
+// JobResponse is the body of GET /v1/jobs/{id}: the job plus whichever
+// result shape it produced (when terminal).
+type JobResponse struct {
+	Job      JobStatus          `json:"job"`
+	Result   *elect.Result      `json:"result,omitempty"`
+	Batch    *elect.BatchResult `json:"batch,omitempty"`
+	CacheHit bool               `json:"cache_hit"`
+}
+
+// JobsResponse is the body of GET /v1/jobs.
+type JobsResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// SpecInfo describes one registered protocol (GET /v1/specs).
+type SpecInfo struct {
+	Name          string   `json:"name"`
+	Model         string   `json:"model"`
+	Paper         string   `json:"paper"`
+	Description   string   `json:"description"`
+	Engines       []string `json:"engines"`
+	SmallIDSpace  bool     `json:"small_id_space"`
+	Deterministic bool     `json:"deterministic"`
+	FaultTolerant bool     `json:"fault_tolerant"`
+}
+
+// SpecsResponse is the body of GET /v1/specs.
+type SpecsResponse struct {
+	Specs []SpecInfo `json:"specs"`
+}
+
+// CacheStats mirrors the daemon cache counters in /healthz.
+type CacheStats struct {
+	Hits       int64 `json:"hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Misses     int64 `json:"misses"`
+	Puts       int64 `json:"puts"`
+	DiskErrors int64 `json:"disk_errors"`
+	Evictions  int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	OK            bool           `json:"ok"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Jobs          map[string]int `json:"jobs"`
+	Cache         *CacheStats    `json:"cache,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,108 @@
+package client
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cliquelect/elect"
+)
+
+func intp(v int) *int           { return &v }
+func floatp(v float64) *float64 { return &v }
+
+// TestParamSpecMergesOverDefaults: fields absent from the wire keep their
+// DefaultParams value instead of zeroing out.
+func TestParamSpecMergesOverDefaults(t *testing.T) {
+	var req RunRequest
+	if err := json.Unmarshal([]byte(`{"spec":"smallid","params":{"d":4}}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	merged := req.Params.merge(elect.DefaultParams())
+	def := elect.DefaultParams()
+	if merged.D != 4 || merged.K != def.K || merged.G != def.G || merged.Eps != def.Eps {
+		t.Fatalf("merged %+v (defaults %+v)", merged, def)
+	}
+	full := (&ParamSpec{K: intp(5), D: intp(6), G: intp(7), Eps: floatp(0.5)}).merge(def)
+	if full != (elect.Params{K: 5, D: 6, G: 7, Eps: 0.5}) {
+		t.Fatalf("full merge %+v", full)
+	}
+}
+
+// TestRunRequestResolveMatchesDirectOptions: a wire request resolves to the
+// same fingerprint as hand-built options, so daemon-side cache keys agree
+// with library-side ones.
+func TestRunRequestResolveMatchesDirectOptions(t *testing.T) {
+	req := RunRequest{
+		Spec: "tradeoff", N: 128, Seed: 9,
+		Options: Options{Params: &ParamSpec{K: intp(4)}, Wake: 3},
+	}
+	spec, opts, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireKey, err := elect.Fingerprint(spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := elect.DefaultParams()
+	p.K = 4
+	directKey, err := elect.Fingerprint(spec,
+		elect.WithN(128), elect.WithSeed(9), elect.WithParams(p), elect.WithWake(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireKey != directKey {
+		t.Fatalf("wire and direct fingerprints differ: %s vs %s", wireKey, directKey)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	bad := []RunRequest{
+		{Spec: "bogus"},
+		{Spec: "tradeoff", Options: Options{Engine: "warp"}},
+		{Spec: "tradeoff", Options: Options{Delays: "unit"}}, // sync spec
+		{Spec: "asynctradeoff", Options: Options{Delays: "bogus"}},
+		{Spec: "tradeoff", Options: Options{Faults: "bogus=1"}},
+	}
+	for _, req := range bad {
+		if _, _, err := req.Resolve(); err == nil {
+			t.Errorf("request %+v resolved", req)
+		}
+	}
+	if _, _, err := (BatchRequest{Spec: "tradeoff", Seeds: []uint64{1}, SeedBase: 2, SeedCount: 3}).Resolve(); err == nil {
+		t.Error("conflicting seed fields resolved")
+	}
+	if _, _, err := (BatchRequest{Spec: "tradeoff", Seeds: []uint64{1}, SeedBase: 2}).Resolve(); err == nil {
+		t.Error("seeds + seed_base resolved")
+	}
+	// seed_base alone would silently run the default seed; it must error.
+	if _, _, err := (BatchRequest{Spec: "tradeoff", SeedBase: 5}).Resolve(); err == nil {
+		t.Error("seed_base without seed_count resolved")
+	}
+}
+
+// TestBatchRequestResolve covers the seed expansion and option passthrough.
+func TestBatchRequestResolve(t *testing.T) {
+	spec, batch, err := (BatchRequest{
+		Spec: "asynctradeoff", Ns: []int{32, 64}, SeedBase: 5, SeedCount: 3,
+		Workers: 2,
+		Options: Options{Params: &ParamSpec{K: intp(2)}, Delays: "skew", Faults: "drop=0.05"},
+	}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "asynctradeoff" || len(batch.Seeds) != 3 || batch.Seeds[0] != 5 || batch.Workers != 2 {
+		t.Fatalf("batch %+v", batch)
+	}
+	// The resolved batch must actually run.
+	out, err := elect.RunMany(spec, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 6 {
+		t.Fatalf("got %d runs", len(out.Runs))
+	}
+	if out.Runs[0].Dropped == 0 && out.Runs[1].Dropped == 0 && out.Runs[2].Dropped == 0 {
+		t.Error("fault plan did not reach the runs")
+	}
+}

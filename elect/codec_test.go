@@ -1,0 +1,109 @@
+package elect
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCodecGoldenWire pins the v1 wire form byte for byte: field names,
+// field order and enum spellings. If this test breaks, the change is a wire
+// format break — cached results and electd clients see it too.
+func TestCodecGoldenWire(t *testing.T) {
+	r := Result{
+		Algorithm: "tradeoff", Model: Sync, Engine: EngineSync,
+		N: 2, Seed: 7, IDs: []int64{5, 9},
+		Leader: 1, LeaderID: 9, Messages: 3, Words: 4, Rounds: 2,
+		PerRound:  []int64{0, 3},
+		Decisions: []Decision{NonLeader, Leader},
+		AllAwake:  true, OK: true,
+	}
+	data, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"algorithm":"tradeoff","model":"sync","engine":"sync","n":2,"seed":7,` +
+		`"ids":[5,9],"leader":1,"leader_id":9,"messages":3,"words":4,"rounds":2,` +
+		`"per_round":[0,3],"time_units":0,"decisions":["non-leader","leader"],` +
+		`"all_awake":true,"truncated":false,"timed_out":false,"dropped":0,` +
+		`"duplicated":0,"ok":true}`
+	if string(data) != want {
+		t.Errorf("wire form drifted:\n got %s\nwant %s", data, want)
+	}
+}
+
+// TestCodecRoundTrip round-trips real results from both deterministic
+// engines, including trace and fault fields.
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		algo string
+		opts []Option
+	}{
+		{"tradeoff", []Option{WithN(32), WithSeed(3), WithTrace()}},
+		{"tradeoff", []Option{WithN(32), WithSeed(3), WithFaults(FaultPlan{DropRate: 0.1, CrashRate: 0.1})}},
+		{"asynctradeoff", []Option{WithN(32), WithSeed(3), WithParams(Params{K: 2}), WithDelays(DelayUniform)}},
+	}
+	for _, tc := range cases {
+		spec, err := Lookup(tc.algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(spec, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeResult(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, back) {
+			t.Errorf("%s: round trip diverged:\n in  %+v\n out %+v", tc.algo, res, back)
+		}
+		again, err := EncodeResult(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: encoding is not canonical:\n %s\n %s", tc.algo, data, again)
+		}
+	}
+}
+
+func TestCodecBatchRoundTrip(t *testing.T) {
+	spec, err := Lookup("tradeoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RunMany(spec, Batch{Ns: []int{16, 32}, Seeds: Seeds(1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeBatchResult(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBatchResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, back) {
+		t.Errorf("batch round trip diverged")
+	}
+}
+
+func TestCodecEnumErrors(t *testing.T) {
+	for _, bad := range []string{`{"model":"turbo"}`, `{"engine":"warp"}`, `{"decisions":["maybe"]}`} {
+		if _, err := DecodeResult([]byte(bad)); err == nil {
+			t.Errorf("decoded %s without error", bad)
+		}
+	}
+	var r Result // invalid zero Model
+	if _, err := json.Marshal(r); err == nil {
+		t.Error("marshaled a zero (invalid) Model without error")
+	}
+}

@@ -85,10 +85,10 @@ func (e Engine) String() string {
 // Params carries every tunable any registered protocol accepts; fields not
 // used by a protocol are ignored by it.
 type Params struct {
-	K   int     // tradeoff parameter (tradeoff, afekgafni, spreadelect, asynctradeoff)
-	D   int     // smallid window parameter
-	G   int     // smallid universe slack g(n)
-	Eps float64 // advwake failure budget
+	K   int     `json:"k"`   // tradeoff parameter (tradeoff, afekgafni, spreadelect, asynctradeoff)
+	D   int     `json:"d"`   // smallid window parameter
+	G   int     `json:"g"`   // smallid universe slack g(n)
+	Eps float64 `json:"eps"` // advwake failure budget
 }
 
 // DefaultParams returns sensible defaults: K=3, D=2, G=1, Eps=1/16.

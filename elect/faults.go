@@ -13,8 +13,8 @@ import (
 // instant At — a round number on the sync engine, a time in delay units on
 // the async simulator. At 0 the node fails before doing anything.
 type Crash struct {
-	Node int
-	At   float64
+	Node int     `json:"node"`
+	At   float64 `json:"at"`
 }
 
 // Adversary is an adaptive fault controller: the injector shows it every

@@ -74,6 +74,14 @@ func TestFaultsRejectedOnLiveEngine(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "WithFaults") {
 		t.Fatalf("live engine accepted faults (err = %v)", err)
 	}
+	// The same guard must hold when the run arrives through RunMany's grid.
+	_, err = RunMany(spec, Batch{
+		Ns: []int{16}, Seeds: Seeds(1, 2),
+		Options: []Option{WithEngine(EngineLive), WithFaults(FaultPlan{DropRate: 0.1})},
+	})
+	if err == nil || !strings.Contains(err.Error(), "WithFaults") {
+		t.Fatalf("RunMany on the live engine accepted faults (err = %v)", err)
+	}
 }
 
 func TestFaultsBadPlanRejected(t *testing.T) {

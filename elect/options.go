@@ -70,6 +70,24 @@ type runConfig struct {
 	explicit  bool
 }
 
+// defaultRunConfig is the option baseline shared by Run, Fingerprint and
+// RunCached — they must agree or cache keys would drift from executions.
+func defaultRunConfig() runConfig {
+	return runConfig{n: 64, engine: EngineAuto, delays: DelayUnit, params: DefaultParams()}
+}
+
+// resolveEngine maps EngineAuto to the spec model's natural simulator, the
+// same way Run does.
+func (c *runConfig) resolveEngine(spec Spec) Engine {
+	if c.engine != EngineAuto {
+		return c.engine
+	}
+	if spec.Model == Async {
+		return EngineAsync
+	}
+	return EngineSync
+}
+
 // Option configures a Run (and, through Batch.Options, a RunMany).
 type Option func(*runConfig)
 

@@ -39,69 +39,74 @@ func (d Decision) String() string {
 // about.
 type TraceSummary struct {
 	// Edges is the number of distinct directed (sender, receiver) pairs.
-	Edges int
+	Edges int `json:"edges"`
 	// MaxComponent is the size of the largest weakly connected component.
-	MaxComponent int
+	MaxComponent int `json:"max_component"`
 	// Components is the number of weakly connected components.
-	Components int
+	Components int `json:"components"`
 	// PortOpens is the total number of first-use port events (Lemma 3.13's
 	// census quantity).
-	PortOpens int
+	PortOpens int `json:"port_opens"`
 }
 
 // Result is the unified outcome of one Run, regardless of engine. Fields
 // that a given engine does not measure stay zero: Rounds and PerRound are
 // sync-only, TimeUnits is async-simulator-only, and the live engine reports
 // neither time nor Words.
+//
+// The json tags define the stable v1 wire form used by EncodeResult, the
+// result cache and the electd daemon; enums (Model, Engine, Decision)
+// serialize as their string names. Renaming or retyping a tagged field is a
+// wire-format break — add new fields instead.
 type Result struct {
-	Algorithm string
-	Model     Model
-	Engine    Engine
-	N         int
-	Seed      uint64
+	Algorithm string `json:"algorithm"`
+	Model     Model  `json:"model"`
+	Engine    Engine `json:"engine"`
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
 	// IDs is the ID assignment the run used (node i had ID IDs[i]).
-	IDs []int64
+	IDs []int64 `json:"ids"`
 	// Leader is the elected node index, or -1 if the run did not elect a
 	// unique leader.
-	Leader   int
-	LeaderID int64
+	Leader   int   `json:"leader"`
+	LeaderID int64 `json:"leader_id"`
 	// Messages is the paper's message complexity: total messages sent.
-	Messages int64
+	Messages int64 `json:"messages"`
 	// Words is the CONGEST payload volume in O(log n)-bit words (not
 	// measured by the live engine).
-	Words int64
+	Words int64 `json:"words"`
 	// Rounds is the synchronous time complexity (sync engine only).
-	Rounds int
+	Rounds int `json:"rounds"`
 	// PerRound[r] is the number of messages sent in round r (sync engine
 	// only; index 0 unused).
-	PerRound []int64
+	PerRound []int64 `json:"per_round,omitempty"`
 	// TimeUnits is the asynchronous time complexity (async engine only).
-	TimeUnits float64
+	TimeUnits float64 `json:"time_units"`
 	// Decisions holds each node's final output.
-	Decisions []Decision
+	Decisions []Decision `json:"decisions"`
 	// AllAwake reports whether every node was activated during the run.
-	AllAwake bool
+	AllAwake bool `json:"all_awake"`
 	// Truncated reports that the run hit its message budget (or, on the live
 	// engine, the message cap) before quiescence.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 	// TimedOut reports that the run hit the engine's runaway cap (rounds or
 	// events) before quiescence.
-	TimedOut bool
+	TimedOut bool `json:"timed_out"`
 	// Crashed lists (sorted) the nodes that crash-stopped during the run
 	// (WithFaults only).
-	Crashed []int
+	Crashed []int `json:"crashed,omitempty"`
 	// Dropped counts messages the fault injector lost; Duplicated counts the
 	// extra copies it delivered. Dropped messages are included in Messages
 	// (they were sent); duplicates are not (the protocol sent one).
-	Dropped    int64
-	Duplicated int64
+	Dropped    int64 `json:"dropped"`
+	Duplicated int64 `json:"duplicated"`
 	// OK reports a valid implicit election: exactly one leader, every awake
 	// node decided, no truncation. Under WithFaults the guarantee is
 	// restricted to surviving nodes — crashed nodes' outputs are void and
 	// they owe no decision, so a run whose unique leader crashed is not OK.
-	OK bool
+	OK bool `json:"ok"`
 	// Trace is the communication-graph summary when WithTrace was set.
-	Trace *TraceSummary
+	Trace *TraceSummary `json:"trace,omitempty"`
 }
 
 // String renders a human-readable one-line-per-field summary.
@@ -135,7 +140,7 @@ func (r Result) String() string {
 // combinations) return a non-nil error; a run that merely fails to elect a
 // unique leader returns OK=false.
 func Run(spec Spec, opts ...Option) (Result, error) {
-	cfg := runConfig{n: 64, engine: EngineAuto, delays: DelayUnit, params: DefaultParams()}
+	cfg := defaultRunConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -152,14 +157,7 @@ func Run(spec Spec, opts ...Option) (Result, error) {
 	default:
 		return res, fmt.Errorf("elect: spec %q was not obtained from the registry (use Lookup or Registry)", spec.Name)
 	}
-	engine := cfg.engine
-	if engine == EngineAuto {
-		if spec.Model == Async {
-			engine = EngineAsync
-		} else {
-			engine = EngineSync
-		}
-	}
+	engine := cfg.resolveEngine(spec)
 	res.Engine = engine
 	if !spec.Supports(engine) {
 		return res, fmt.Errorf("elect: %s runs on the %s model, not on the %s engine",

@@ -1,0 +1,107 @@
+// Serving elections: boot an in-process electd (the election-as-a-service
+// daemon), then drive it through the Go client — a synchronous run, the
+// byte-identical cache replay of the same run, and an asynchronous sweep
+// streamed over SSE. The same traffic works against a standalone daemon
+// (`go run ./cmd/electd`) with curl; see the README's "Serving elections"
+// section.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"cliquelect/elect"
+	"cliquelect/elect/client"
+	"cliquelect/internal/resultcache"
+	"cliquelect/internal/service"
+)
+
+func main() {
+	if err := run(1024, 16, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, seeds int, w io.Writer) error {
+	// An electd is the service package mounted on any HTTP listener; the
+	// standalone daemon (cmd/electd) wraps exactly this.
+	cache := resultcache.New()
+	srv := service.New(service.Config{Cache: cache})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// One synchronous election: POST /v1/run, answer in-line.
+	req := client.RunRequest{
+		Spec: "tradeoff", N: n, Seed: 7,
+		Options: client.Options{Params: &client.ParamSpec{K: intp(4)}},
+	}
+	t0 := time.Now()
+	cold, err := c.Run(ctx, req)
+	if err != nil {
+		return err
+	}
+	coldTime := time.Since(t0)
+	fmt.Fprintf(w, "cold run   : leader ID %d after %d msgs in %d rounds (%.2fms, cache hit: %v)\n",
+		cold.Result.LeaderID, cold.Result.Messages, cold.Result.Rounds,
+		coldTime.Seconds()*1e3, cold.CacheHit)
+
+	// The same logical run again. The engines are byte-deterministic, so
+	// the daemon owes us the identical Result — and the cache means it
+	// never re-executes the protocol.
+	t0 = time.Now()
+	warm, err := c.Run(ctx, req)
+	if err != nil {
+		return err
+	}
+	warmTime := time.Since(t0)
+	a, _ := elect.EncodeResult(*cold.Result)
+	b, _ := elect.EncodeResult(*warm.Result)
+	fmt.Fprintf(w, "warm run   : cache hit: %v, byte-identical: %v (%.2fms)\n",
+		warm.CacheHit, string(a) == string(b), warmTime.Seconds()*1e3)
+
+	// A sweep as an asynchronous job: POST /v1/batch {"async":true}, then
+	// SSE progress from GET /v1/jobs/{id}.
+	st, err := c.SubmitBatch(ctx, client.BatchRequest{
+		Spec: "tradeoff", Ns: []int{n / 4, n / 2}, SeedBase: 1, SeedCount: seeds,
+		Options: client.Options{Params: &client.ParamSpec{K: intp(4)}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "batch job  : %s queued (%d runs)\n", st.ID, st.Total)
+	final, err := c.Stream(ctx, st.ID, func(s client.JobStatus) {
+		if s.State == "running" && s.Done > 0 {
+			fmt.Fprintf(w, "  progress : %d/%d\n", s.Done, s.Total)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, agg := range final.Batch.Aggregates {
+		fmt.Fprintf(w, "  n=%-5d  : mean %.0f msgs, success %d/%d\n",
+			agg.N, agg.Messages.Mean, agg.Successes, agg.Runs)
+	}
+
+	// The daemon's counters tell the caching story.
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cache      : %d hits, %d misses, %d entries\n",
+		h.Cache.Hits, h.Cache.Misses, h.Cache.Entries)
+	return nil
+}
+
+func intp(v int) *int { return &v }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the example's main path at a small size so CI catches API
+// drift in the example code.
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(128, 4, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cold run", "cache hit: true", "byte-identical: true", "batch job"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run(64, 2, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"cliquelect/elect"
+	"cliquelect/internal/resultcache"
+)
+
+func mustSpec(t *testing.T, name string) elect.Spec {
+	t.Helper()
+	spec, err := elect.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func wait(t *testing.T, j *Job) Snapshot {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish: %+v", j.ID, j.Snapshot())
+	}
+	return j.Snapshot()
+}
+
+func TestRunJobLifecycle(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close()
+
+	j, err := m.SubmitRun(mustSpec(t, "tradeoff"), []elect.Option{elect.WithN(64), elect.WithSeed(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != Done || s.Done != 1 || s.Total != 1 || s.Err != "" {
+		t.Fatalf("snapshot %+v", s)
+	}
+	res, ok := j.Result()
+	if !ok || !res.OK || res.N != 64 {
+		t.Fatalf("result %+v ok=%v", res, ok)
+	}
+	if s.Started.Before(s.Created) || s.Finished.Before(s.Started) {
+		t.Fatalf("timestamps out of order: %+v", s)
+	}
+	if got, found := m.Get(j.ID); !found || got != j {
+		t.Fatal("Get lost the job")
+	}
+}
+
+func TestRunJobFailure(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	// K=1 is invalid for the tradeoff spec.
+	j, err := m.SubmitRun(mustSpec(t, "tradeoff"), []elect.Option{elect.WithParams(elect.Params{K: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.State != Failed || s.Err == "" {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if j.Err() == nil {
+		t.Fatal("Err() nil on failed job")
+	}
+}
+
+func TestBatchJobProgress(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close()
+	j, err := m.SubmitBatch(mustSpec(t, "tradeoff"), elect.Batch{
+		Ns: []int{16, 32}, Seeds: elect.Seeds(1, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, stop := j.Subscribe()
+	defer stop()
+	s := wait(t, j)
+	if s.State != Done || s.Done != 8 || s.Total != 8 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if b, ok := j.BatchResult(); !ok || len(b.Runs) != 8 {
+		t.Fatalf("batch result missing")
+	}
+	// The subscription must deliver a terminal snapshot and then close.
+	var last Snapshot
+	for snap := range sub {
+		last = snap
+	}
+	if last.State != Done || last.Done != 8 {
+		t.Fatalf("last streamed snapshot %+v", last)
+	}
+}
+
+func TestCacheReadThrough(t *testing.T) {
+	cache := resultcache.New()
+	m := NewManager(Config{Workers: 1, Cache: cache})
+	defer m.Close()
+	opts := []elect.Option{elect.WithN(64), elect.WithSeed(5)}
+	spec := mustSpec(t, "tradeoff")
+
+	first, err := m.SubmitRun(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, first); s.CacheHit {
+		t.Fatal("cold job reported a cache hit")
+	}
+	second, err := m.SubmitRun(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, second); !s.CacheHit {
+		t.Fatal("repeated job missed the cache")
+	}
+	third, err := m.SubmitRun(spec, opts, NoCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, third); s.CacheHit {
+		t.Fatal("NoCache job reported a cache hit")
+	}
+	r1, _ := first.Result()
+	r2, _ := second.Result()
+	r3, _ := third.Result()
+	b1, _ := elect.EncodeResult(r1)
+	b2, _ := elect.EncodeResult(r2)
+	b3, _ := elect.EncodeResult(r3)
+	if string(b1) != string(b2) || string(b2) != string(b3) {
+		t.Fatal("cached, uncached and bypassed runs disagree")
+	}
+}
+
+func TestQueueBoundAndCancel(t *testing.T) {
+	// One worker, depth 1: occupy the worker with a slow-ish batch, then
+	// fill the queue, then overflow it.
+	m := NewManager(Config{Workers: 1, QueueDepth: 1})
+	defer m.Close()
+	spec := mustSpec(t, "tradeoff")
+	blocker, err := m.SubmitBatch(spec, elect.Batch{Ns: []int{256}, Seeds: elect.Seeds(1, 64), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued *Job
+	var overflowed bool
+	for i := 0; i < 64; i++ {
+		j, err := m.SubmitRun(spec, nil)
+		if err == ErrQueueFull {
+			overflowed = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = j
+	}
+	if !overflowed {
+		t.Fatal("queue never filled")
+	}
+	// Cancel the queued job: it must go terminal without running.
+	if queued != nil {
+		queued.Cancel()
+		if s := queued.Snapshot(); s.State != Canceled && s.State != Running && s.State != Done {
+			// Normally Canceled; Running/Done only if the worker got to it
+			// in the race window before Cancel.
+			t.Fatalf("queued job state %s", s.State)
+		}
+	}
+	// Cancel the running batch: RunMany aborts with ErrCanceled.
+	blocker.Cancel()
+	if s := wait(t, blocker); s.State != Canceled && s.State != Done {
+		t.Fatalf("blocker state %s", s.State)
+	}
+}
+
+func TestSubscribeAfterTerminal(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	j, err := m.SubmitRun(mustSpec(t, "tradeoff"), []elect.Option{elect.WithN(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	sub, stop := j.Subscribe()
+	defer stop()
+	snap, ok := <-sub
+	if !ok || snap.State != Done {
+		t.Fatalf("late subscriber got %+v ok=%v", snap, ok)
+	}
+	if _, ok := <-sub; ok {
+		t.Fatal("late subscription not closed after terminal snapshot")
+	}
+}
+
+// TestJobRetentionBound: a long-lived manager forgets its oldest terminal
+// jobs past MaxJobs instead of accumulating every result it ever served.
+func TestJobRetentionBound(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxJobs: 4})
+	defer m.Close()
+	spec := mustSpec(t, "tradeoff")
+	var all []*Job
+	for i := 0; i < 12; i++ {
+		j, err := m.SubmitRun(spec, []elect.Option{elect.WithN(16), elect.WithSeed(uint64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, j)
+		all = append(all, j)
+	}
+	if got := len(m.Jobs()); got > 5 {
+		t.Fatalf("job table holds %d jobs, want <= 5 (MaxJobs 4 + in-flight slack)", got)
+	}
+	if _, ok := m.Get(all[0].ID); ok {
+		t.Error("oldest terminal job survived pruning")
+	}
+	if _, ok := m.Get(all[len(all)-1].ID); !ok {
+		t.Error("newest job was pruned")
+	}
+}
+
+func TestManagerClose(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	j, err := m.SubmitRun(mustSpec(t, "tradeoff"), []elect.Option{elect.WithN(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if !j.Snapshot().State.Terminal() {
+		t.Fatalf("job not terminal after Close: %+v", j.Snapshot())
+	}
+	if _, err := m.SubmitRun(mustSpec(t, "tradeoff"), nil); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	m.Close() // idempotent
+}

@@ -1,0 +1,352 @@
+// Package service implements the electd HTTP API over the jobs manager and
+// the result cache; cmd/electd is a thin flag-parsing shell around it, and
+// tests (plus examples/service) mount Handler on httptest servers.
+//
+// Routes:
+//
+//	POST /v1/run       — one election; waits by default, {"async":true} queues
+//	POST /v1/batch     — a multi-size multi-seed sweep; same async contract
+//	GET  /v1/jobs      — list all jobs
+//	GET  /v1/jobs/{id} — job status + result; Accept: text/event-stream
+//	                     switches to SSE progress streaming
+//	DELETE /v1/jobs/{id} — cancel
+//	GET  /v1/specs     — the protocol registry
+//	GET  /healthz      — liveness + job/cache counters
+//
+// The wire schema lives in cliquelect/elect/client (shared with the Go
+// client); results ride the stable elect JSON codec.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"cliquelect/elect"
+	"cliquelect/elect/client"
+	"cliquelect/internal/jobs"
+	"cliquelect/internal/resultcache"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Workers and QueueDepth size the jobs manager (see jobs.Config).
+	Workers    int
+	QueueDepth int
+	// Cache, when non-nil, serves repeated deterministic runs from stored
+	// bytes and reports its counters in /healthz.
+	Cache *resultcache.Cache
+	// Logf, when non-nil, receives one line per API request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the electd HTTP service.
+type Server struct {
+	cfg   Config
+	mgr   *jobs.Manager
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+	}
+	var cache elect.Cache
+	if cfg.Cache != nil {
+		cache = cfg.Cache
+	}
+	s.mgr = jobs.NewManager(jobs.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Cache:      cache,
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/specs", s.handleSpecs)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s", r.Method, r.URL.Path)
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close drains the worker pool; queued jobs are canceled.
+func (s *Server) Close() { s.mgr.Close() }
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req client.RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, opts, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.submitRun(spec, opts, req.NoCache)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, client.RunResponse{Job: status(job)})
+		return
+	}
+	if !s.await(w, r, job) {
+		return
+	}
+	st := status(job)
+	if st.State == string(jobs.Failed) {
+		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
+		return
+	}
+	resp := client.RunResponse{Job: st, CacheHit: st.CacheHit}
+	if res, ok := job.Result(); ok {
+		resp.Result = &res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req client.BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, batch, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.submitBatch(spec, batch, req.NoCache)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, client.BatchResponse{Job: status(job)})
+		return
+	}
+	if !s.await(w, r, job) {
+		return
+	}
+	st := status(job)
+	if st.State == string(jobs.Failed) {
+		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
+		return
+	}
+	resp := client.BatchResponse{Job: st}
+	if b, ok := job.BatchResult(); ok {
+		resp.Result = b
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) submitRun(spec elect.Spec, opts []elect.Option, noCache bool) (*jobs.Job, error) {
+	if noCache {
+		return s.mgr.SubmitRun(spec, opts, jobs.NoCache())
+	}
+	return s.mgr.SubmitRun(spec, opts)
+}
+
+func (s *Server) submitBatch(spec elect.Spec, batch elect.Batch, noCache bool) (*jobs.Job, error) {
+	if noCache {
+		return s.mgr.SubmitBatch(spec, batch, jobs.NoCache())
+	}
+	return s.mgr.SubmitBatch(spec, batch)
+}
+
+// await blocks until the job is terminal or the caller goes away (then the
+// job is canceled — nobody is left to read the answer). Reports whether a
+// response should still be written.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, job *jobs.Job) bool {
+	select {
+	case <-job.Done():
+		return true
+	case <-r.Context().Done():
+		job.Cancel()
+		return false
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	all := s.mgr.Jobs()
+	resp := client.JobsResponse{Jobs: make([]client.JobStatus, 0, len(all))}
+	for _, j := range all {
+		resp.Jobs = append(resp.Jobs, status(j))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamJob(w, r, job)
+		return
+	}
+	st := status(job)
+	resp := client.JobResponse{Job: st, CacheHit: st.CacheHit}
+	if res, ok := job.Result(); ok {
+		resp.Result = &res
+	}
+	if b, ok := job.BatchResult(); ok {
+		resp.Batch = b
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamJob serves the SSE progress feed: one "progress" event per
+// snapshot, a final "done" event carrying the terminal snapshot, then EOF.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *jobs.Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	sub, stop := job.Subscribe()
+	defer stop()
+	for {
+		select {
+		case snap, ok := <-sub:
+			if !ok {
+				return
+			}
+			st := snapshotStatus(snap)
+			event := "progress"
+			if st.Terminal() {
+				event = "done"
+			}
+			data, err := json.Marshal(st)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+			flusher.Flush()
+			if st.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, client.JobResponse{Job: status(job)})
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	resp := client.SpecsResponse{}
+	for _, spec := range elect.Registry() {
+		engines := make([]string, 0, 2)
+		for _, e := range spec.Engines() {
+			engines = append(engines, e.String())
+		}
+		resp.Specs = append(resp.Specs, client.SpecInfo{
+			Name:          spec.Name,
+			Model:         spec.Model.String(),
+			Paper:         spec.Paper,
+			Description:   spec.Description,
+			Engines:       engines,
+			SmallIDSpace:  spec.SmallIDSpace,
+			Deterministic: spec.Deterministic,
+			FaultTolerant: spec.FaultTolerant,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := client.Health{
+		OK:            true,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Jobs:          map[string]int{},
+	}
+	for state, n := range s.mgr.Counts() {
+		h.Jobs[string(state)] = n
+	}
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		h.Cache = &client.CacheStats{
+			Hits: cs.Hits, DiskHits: cs.DiskHits, Misses: cs.Misses,
+			Puts: cs.Puts, DiskErrors: cs.DiskErrors, Evictions: cs.Evictions,
+			Entries: cs.Entries,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// status converts a live job to its wire view.
+func status(j *jobs.Job) client.JobStatus { return snapshotStatus(j.Snapshot()) }
+
+func snapshotStatus(s jobs.Snapshot) client.JobStatus {
+	return client.JobStatus{
+		ID: s.ID, Kind: string(s.Kind), Spec: s.Spec, State: string(s.State),
+		Error: s.Err, Done: s.Done, Total: s.Total, CacheHit: s.CacheHit,
+		Created: s.Created, Started: s.Started, Finished: s.Finished,
+	}
+}
+
+func decodeBody(r *http.Request, out any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, client.ErrorResponse{Error: err.Error()})
+}
+
+// writeSubmitError maps queue conditions to HTTP: a full queue is 503 with
+// Retry-After, a closed manager 503 too.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrClosed) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
