@@ -207,6 +207,50 @@ func BenchmarkRunMany(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineLargeN is the acceptance workload for the engine hot-path
+// overhaul: an 8-cell RunMany sweep (one size, eight seeds) of the paper's
+// headline tradeoff algorithm at n=4096 through the full batch path. The
+// wall-clock time of this benchmark and the allocation counts of
+// BenchmarkRoundLoopAllocs are the before/after numbers PERFORMANCE.md
+// records.
+func BenchmarkEngineLargeN(b *testing.B) {
+	spec, err := elect.Lookup("tradeoff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := elect.RunMany(spec, elect.Batch{
+			Ns:    []int{4096},
+			Seeds: elect.Seeds(1, 8),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := out.Aggregates[0].SuccessRate; got != 1 {
+			b.Fatalf("success rate = %v", got)
+		}
+	}
+}
+
+// BenchmarkRoundLoopAllocs tracks the allocation footprint of the simsync
+// round loop on a mid-size tradeoff election (n=1024). Compare allocs/op
+// across commits; TestRoundLoopAllocBudget in the simsync package enforces
+// the hard budget in CI.
+func BenchmarkRoundLoopAllocs(b *testing.B) {
+	spec, err := elect.Lookup("tradeoff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := elect.Run(spec, elect.WithN(1024), elect.WithSeed(uint64(i)))
+		if err != nil || !res.OK {
+			b.Fatalf("err=%v ok=%v", err, res.OK)
+		}
+	}
+}
+
 // BenchmarkCachedRun measures the serving layer's result cache against
 // recomputation on the acceptance workload: a 1024-node run of the paper's
 // headline tradeoff algorithm, same spec/params/seed every iteration. The

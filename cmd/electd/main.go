@@ -50,6 +50,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 	var (
 		addr         = fs.String("addr", ":8090", "listen address")
 		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		batchWorkers = fs.Int("batch-workers", 0, "per-batch-job sweep parallelism cap; size workers*batch-workers to the cores available (0 = GOMAXPROCS per job)")
 		queue        = fs.Int("queue", 256, "job queue depth beyond the running jobs")
 		cacheDir     = fs.String("cache-dir", "", "persistent result-cache directory (empty = memory only)")
 		cacheEntries = fs.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result-cache bound (0 = unbounded)")
@@ -61,7 +62,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		return err
 	}
 
-	cfg := service.Config{Workers: *workers, QueueDepth: *queue}
+	cfg := service.Config{Workers: *workers, QueueDepth: *queue, BatchWorkers: *batchWorkers}
 	if !*noCache {
 		copts := []resultcache.Option{resultcache.WithMaxEntries(*cacheEntries)}
 		if *cacheDir != "" {

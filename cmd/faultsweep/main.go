@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"cliquelect/elect"
 	"cliquelect/internal/cliutil"
@@ -116,6 +117,8 @@ func run(args []string, w io.Writer) error {
 
 	table := stats.NewTable("algo", "n", "crash", "drop", "success", "mean msgs",
 		"mean time", "crashed", "dropped", "dup'd")
+	cells := 0
+	start := time.Now()
 	for _, spec := range specs {
 		for _, cr := range crashes {
 			for _, dr := range drops {
@@ -143,6 +146,7 @@ func run(args []string, w io.Writer) error {
 				if err != nil {
 					return err
 				}
+				cells += len(batch.Runs)
 				for _, agg := range batch.Aggregates {
 					table.AddRow(spec.Name, agg.N, cr, dr,
 						fmt.Sprintf("%.2f", agg.SuccessRate),
@@ -152,10 +156,15 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 	}
+	elapsed := time.Since(start)
 	if *csv {
+		// CSV output stays a pure function of the flags (no timing line), so
+		// it can be diffed and machine-consumed.
 		fmt.Fprint(w, table.CSV())
 	} else {
 		fmt.Fprint(w, table.String())
+		fmt.Fprintf(w, "# %d cells in %v (%.0f cells/s)\n",
+			cells, elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
 	}
 	if cache != nil {
 		s := cache.Stats()

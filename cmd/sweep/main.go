@@ -88,6 +88,8 @@ func run(args []string) error {
 	bench := benchFile{
 		Date: time.Now().UTC().Format("2006-01-02"), Algo: *algo, Seeds: *seeds,
 	}
+	cells := 0
+	start := time.Now()
 	for _, k := range ks {
 		opts := []elect.Option{
 			elect.WithParams(elect.Params{K: k, D: *d, G: *g, Eps: *eps}),
@@ -109,6 +111,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		cells += len(batch.Runs)
 		var xs, ys []float64
 		for _, agg := range batch.Aggregates {
 			xs = append(xs, float64(agg.N))
@@ -128,10 +131,15 @@ func run(args []string) error {
 			}
 		}
 	}
+	elapsed := time.Since(start)
 	if *csv {
+		// CSV output stays a pure function of the flags (no timing line), so
+		// it can be diffed and machine-consumed.
 		fmt.Print(table.CSV())
 	} else {
 		fmt.Print(table.String())
+		fmt.Printf("# %d cells in %v (%.0f cells/s)\n",
+			cells, elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
 	}
 	if cache != nil {
 		s := cache.Stats()

@@ -5,8 +5,10 @@
 // asynchronous cliques under the KT0 clean-network model.
 //
 // The public entry point is the elect package — a registry of protocol
-// specs, a single Run over all three execution engines, and a parallel
-// batch runner:
+// specs, a single Run over all three execution engines, and a sharded
+// parallel batch runner. Runnable walkthroughs live as godoc examples in
+// the elect package: see ExampleRun, ExampleRunMany, ExampleRunCached and
+// ExampleWithFaults (all compiled and run by go test).
 //
 //   - elect — public API: Registry/Lookup, Run with functional options,
 //     unified Result, RunMany worker-pool sweeps, and fault injection
@@ -56,6 +58,17 @@
 //     against a prior file with -compare (exits non-zero on >10%
 //     regressions).
 //   - examples/ — runnable scenarios, each with a smoke test.
+//
+// # Performance
+//
+// The deterministic engines are built for large-n sweeps: pooled inbox
+// arenas and send buffers (internal/proto), flat open-addressing tables
+// under the lazy port wirings (internal/flatmap), a boxing-free event heap
+// in the async simulator, and work-stealing shards in elect.RunMany. A
+// single tradeoff election at n = 2^20 completes in tens of seconds on one
+// core. ARCHITECTURE.md fixes the layer stack and the determinism contract
+// all of this preserves; PERFORMANCE.md documents the benchmark workflow,
+// the BENCH_<date>.json -compare regression gate, and current numbers.
 //
 // See README.md for a tour and quickstart.
 package cliquelect

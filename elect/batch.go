@@ -102,12 +102,22 @@ type BatchResult struct {
 	Aggregates []Aggregate `json:"aggregates"`
 }
 
-// RunMany fans the batch's (size, seed) grid across a worker pool and
-// returns every per-seed result plus per-size aggregates. Each run is an
-// independent Run call, so on the deterministic engines the results are
-// byte-identical whatever the worker count — RunMany(…, Workers: 1) and
-// RunMany(…, Workers: 8) agree, and a warm Batch.Cache replays the very
-// same bytes a cold one computes. The first run error aborts the batch.
+// RunMany fans the batch's (size, seed) grid across a sharded parallel
+// executor and returns every per-seed result plus per-size aggregates.
+//
+// The grid of cells is split into one contiguous shard per worker; each
+// worker drains its own shard with a single atomic claim per cell and then
+// steals from the other shards, so the executor stays busy under skewed
+// per-cell cost (large sizes at the end of a sweep) without a dispatcher
+// goroutine or channel handoff per cell. Each cell is an independent Run
+// whose randomness derives entirely from its own (n, seed) pair — the
+// per-shard claim order never feeds any RNG — so on the deterministic
+// engines the results are byte-identical whatever the worker count:
+// RunMany(…, Workers: 1) runs the plain serial loop and RunMany(…, Workers:
+// 8) produces the very same BatchResult, and a warm Batch.Cache replays the
+// very same bytes a cold one computes (the PR 3 cache fingerprints depend
+// on this, and TestRunManyParallelMatchesSerial asserts it). The first run
+// error aborts the batch.
 func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 	ns := b.Ns
 	if len(ns) == 0 {
@@ -121,59 +131,45 @@ func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if total := len(ns) * len(seeds); workers > total {
+	total := len(ns) * len(seeds)
+	if workers > total {
 		workers = total
 	}
 
-	type job struct {
-		idx  int
-		n    int
-		seed uint64
+	runs := make([]Result, total)
+	errs := make([]error, total)
+	runCell := func(idx int) {
+		opts := make([]Option, 0, len(b.Options)+2)
+		opts = append(opts, b.Options...)
+		opts = append(opts, WithN(ns[idx/len(seeds)]), WithSeed(seeds[idx%len(seeds)]))
+		runs[idx], _, errs[idx] = RunCached(b.Cache, spec, opts...)
 	}
-	jobs := make(chan job)
-	runs := make([]Result, len(ns)*len(seeds))
-	errs := make([]error, len(runs))
-	var completed atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				opts := make([]Option, 0, len(b.Options)+2)
-				opts = append(opts, b.Options...)
-				opts = append(opts, WithN(j.n), WithSeed(j.seed))
-				runs[j.idx], _, errs[j.idx] = RunCached(b.Cache, spec, opts...)
-				if b.OnResult != nil {
-					b.OnResult(int(completed.Add(1)), len(runs))
-				}
-			}
-		}()
-	}
-	canceled := false
-dispatch:
-	for i, n := range ns {
-		for j, seed := range seeds {
-			// A closed Cancel must win over a ready worker, so check it alone
-			// first: the two-case select below picks at random when both are
-			// ready.
-			select {
-			case <-b.Cancel:
-				canceled = true
-				break dispatch
-			default:
-			}
-			select {
-			case <-b.Cancel:
-				canceled = true
-				break dispatch
-			case jobs <- job{idx: i*len(seeds) + j, n: n, seed: seed}:
-			}
+	canceled := func() bool {
+		select {
+		case <-b.Cancel:
+			return true
+		default:
+			return false
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if canceled {
+
+	var claimed int
+	if workers == 1 {
+		// Serial reference path: claim cells in grid order on the caller's
+		// goroutine.
+		for ; claimed < total; claimed++ {
+			if canceled() {
+				break
+			}
+			runCell(claimed)
+			if b.OnResult != nil {
+				b.OnResult(claimed+1, total)
+			}
+		}
+	} else {
+		claimed = runSharded(total, workers, runCell, canceled, b.OnResult)
+	}
+	if claimed < total {
 		return nil, ErrCanceled
 	}
 
@@ -184,6 +180,57 @@ dispatch:
 		}
 	}
 
+	out := assembleBatch(ns, seeds, runs)
+	return out, nil
+}
+
+// runSharded is RunMany's parallel executor: cells [0, total) are split
+// into one contiguous shard per worker, each worker drains its own shard
+// via an atomic claim counter and then steals from the other shards in
+// ring order. It returns the number of cells claimed — total unless the
+// cancel probe fired while cells were still unclaimed.
+func runSharded(total, workers int, runCell func(int), canceled func() bool, onResult func(done, total int)) int {
+	// bounds[w] .. bounds[w+1] is shard w; claim[w] is its next free cell.
+	bounds := make([]int64, workers+1)
+	for w := 1; w <= workers; w++ {
+		bounds[w] = int64(w * total / workers)
+	}
+	claim := make([]atomic.Int64, workers)
+	for w := range claim {
+		claim[w].Store(bounds[w])
+	}
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < workers; s++ {
+				shard := (w + s) % workers
+				for {
+					if canceled() {
+						return
+					}
+					idx := claim[shard].Add(1) - 1
+					if idx >= bounds[shard+1] {
+						break // shard drained; move on to stealing
+					}
+					runCell(int(idx))
+					if onResult != nil {
+						onResult(int(completed.Add(1)), total)
+					} else {
+						completed.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(completed.Load())
+}
+
+// assembleBatch computes the per-size aggregates over the completed grid.
+func assembleBatch(ns []int, seeds []uint64, runs []Result) *BatchResult {
 	out := &BatchResult{Runs: runs, Aggregates: make([]Aggregate, 0, len(ns))}
 	for i, n := range ns {
 		agg := Aggregate{N: n, Runs: len(seeds)}
@@ -212,5 +259,5 @@ dispatch:
 		agg.Time = newSummary(times)
 		out.Aggregates = append(out.Aggregates, agg)
 	}
-	return out, nil
+	return out
 }

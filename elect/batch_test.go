@@ -1,14 +1,19 @@
 package elect
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
-// TestRunManyParallelMatchesSerial is the batch determinism contract: 8+
-// seeds fanned across a worker pool produce byte-identical per-seed results
-// to serial execution.
+// TestRunManyParallelMatchesSerial is the batch determinism contract the
+// result cache's fingerprints depend on: the same grid fanned across the
+// sharded work-stealing executor at any worker count must produce a
+// BatchResult byte-identical (encoded wire form) to the serial path.
+// Worker counts are chosen to exercise the shard shapes: even split, uneven
+// split with stealing, and more workers than cells per shard.
 func TestRunManyParallelMatchesSerial(t *testing.T) {
 	for _, name := range []string{"tradeoff", "lasvegas", "asynctradeoff"} {
 		spec, err := Lookup(name)
@@ -24,31 +29,65 @@ func TestRunManyParallelMatchesSerial(t *testing.T) {
 		}
 		serial := batch
 		serial.Workers = 1
-		parallel := batch
-		parallel.Workers = 8
-
 		a, err := RunMany(spec, serial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := RunMany(spec, parallel)
+		if len(a.Runs) != 16 {
+			t.Fatalf("%s: %d serial runs, want 16", name, len(a.Runs))
+		}
+		aBytes, err := EncodeBatchResult(a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(a.Runs) != 16 || len(b.Runs) != 16 {
-			t.Fatalf("%s: %d/%d runs, want 16", name, len(a.Runs), len(b.Runs))
-		}
-		for i := range a.Runs {
-			if !reflect.DeepEqual(a.Runs[i], b.Runs[i]) {
-				t.Fatalf("%s: run %d diverges between serial and parallel:\n%+v\nvs\n%+v",
-					name, i, a.Runs[i], b.Runs[i])
+		for _, workers := range []int{3, 8, 16} {
+			parallel := batch
+			parallel.Workers = workers
+			b, err := RunMany(spec, parallel)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if got, want := fmt.Sprintf("%#v", a.Runs[i]), fmt.Sprintf("%#v", b.Runs[i]); got != want {
-				t.Fatalf("%s: run %d not byte-identical", name, i)
+			for i := range a.Runs {
+				if !reflect.DeepEqual(a.Runs[i], b.Runs[i]) {
+					t.Fatalf("%s workers=%d: run %d diverges between serial and parallel:\n%+v\nvs\n%+v",
+						name, workers, i, a.Runs[i], b.Runs[i])
+				}
+				if got, want := fmt.Sprintf("%#v", a.Runs[i]), fmt.Sprintf("%#v", b.Runs[i]); got != want {
+					t.Fatalf("%s workers=%d: run %d not byte-identical", name, workers, i)
+				}
+			}
+			if !reflect.DeepEqual(a.Aggregates, b.Aggregates) {
+				t.Fatalf("%s workers=%d: aggregates diverge", name, workers)
+			}
+			bBytes, err := EncodeBatchResult(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aBytes, bBytes) {
+				t.Fatalf("%s workers=%d: encoded BatchResult differs from serial", name, workers)
 			}
 		}
-		if !reflect.DeepEqual(a.Aggregates, b.Aggregates) {
-			t.Fatalf("%s: aggregates diverge", name)
+	}
+}
+
+// TestRunShardedCoverage drives the executor directly: every cell must be
+// claimed exactly once for shard shapes that force uneven splits, empty
+// shards and stealing.
+func TestRunShardedCoverage(t *testing.T) {
+	for _, tc := range []struct{ total, workers int }{
+		{1, 2}, {7, 3}, {16, 5}, {100, 7}, {8, 8},
+	} {
+		hits := make([]atomic.Int32, tc.total)
+		claimed := runSharded(tc.total, tc.workers, func(idx int) {
+			hits[idx].Add(1)
+		}, func() bool { return false }, nil)
+		if claimed != tc.total {
+			t.Fatalf("total=%d workers=%d: claimed %d cells", tc.total, tc.workers, claimed)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("total=%d workers=%d: cell %d run %d times", tc.total, tc.workers, i, got)
+			}
 		}
 	}
 }

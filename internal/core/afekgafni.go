@@ -41,6 +41,8 @@ type AfekGafni struct {
 	// n = 2, where each node is the other's only referee.
 	finalMaxBid int64
 
+	sbuf proto.SendBuf // reused across rounds; consumed by the engine per call
+
 	dec      proto.Decision
 	halted   bool
 	deadline int // wake-relative halt round
@@ -89,7 +91,7 @@ func (a *AfekGafni) Send(round int) []proto.Send {
 		}
 		a.expected = Fanout(a.env.N, it, a.k)
 		a.acks = 0
-		out := make([]proto.Send, a.expected)
+		out := a.sbuf.Take(a.expected)
 		for p := range out {
 			out[p] = proto.Send{Port: p, Msg: proto.Message{Kind: KindCompete, A: a.env.ID}}
 		}
@@ -99,7 +101,9 @@ func (a *AfekGafni) Send(round int) []proto.Send {
 		return nil
 	}
 	a.haveBid = false
-	return []proto.Send{{Port: a.bestBidPort, Msg: proto.Message{Kind: KindAck}}}
+	out := a.sbuf.Take(1)
+	out[0] = proto.Send{Port: a.bestBidPort, Msg: proto.Message{Kind: KindAck}}
+	return out
 }
 
 // Deliver implements simsync.Protocol.

@@ -56,7 +56,10 @@ type AsyncTradeoff struct {
 
 	dec proto.Decision
 
-	out []proto.Send // per-callback send accumulator
+	// Per-callback send accumulator. The engine consumes the slice flush
+	// returns before the next callback on this instance, so the backing
+	// array is reused across calls.
+	out []proto.Send
 }
 
 type pendingCompete struct {
@@ -331,7 +334,7 @@ func (a *AsyncTradeoff) send(port int, m proto.Message) {
 
 func (a *AsyncTradeoff) flush() []proto.Send {
 	out := a.out
-	a.out = nil
+	a.out = a.out[:0]
 	return out
 }
 

@@ -44,6 +44,8 @@ type Tradeoff struct {
 
 	finalBest int64 // max ID seen in the final broadcast round
 
+	sbuf proto.SendBuf // reused across rounds; consumed by the engine per call
+
 	dec    proto.Decision
 	halted bool
 }
@@ -93,7 +95,7 @@ func (t *Tradeoff) Send(round int) []proto.Send {
 		if !t.survivor {
 			return nil
 		}
-		out := make([]proto.Send, t.env.Ports())
+		out := t.sbuf.Take(t.env.Ports())
 		for p := range out {
 			out[p] = proto.Send{Port: p, Msg: proto.Message{Kind: KindCompete, A: t.env.ID}}
 		}
@@ -105,7 +107,7 @@ func (t *Tradeoff) Send(round int) []proto.Send {
 		}
 		t.expected = Fanout(t.env.N, it, t.k-1)
 		t.acks = 0
-		out := make([]proto.Send, t.expected)
+		out := t.sbuf.Take(t.expected)
 		for p := range out {
 			out[p] = proto.Send{Port: p, Msg: proto.Message{Kind: KindCompete, A: t.env.ID}}
 		}
@@ -116,7 +118,9 @@ func (t *Tradeoff) Send(round int) []proto.Send {
 			return nil
 		}
 		t.haveBid = false
-		return []proto.Send{{Port: t.bestBidPort, Msg: proto.Message{Kind: KindAck}}}
+		out := t.sbuf.Take(1)
+		out[0] = proto.Send{Port: t.bestBidPort, Msg: proto.Message{Kind: KindAck}}
+		return out
 	}
 }
 

@@ -63,6 +63,13 @@ type Config struct {
 	// Cache, when non-nil, is consulted by every job (see elect.RunCached);
 	// jobs submitted with NoCache opt out individually.
 	Cache elect.Cache
+	// BatchWorkers caps the sharded RunMany executor of each batch job.
+	// Without a cap, every concurrent batch job spins up GOMAXPROCS workers
+	// of its own and the daemon oversubscribes the machine Workers-fold; a
+	// deployment that sizes Workers for concurrency should size
+	// BatchWorkers so Workers*BatchWorkers matches the cores available.
+	// 0 means uncapped (each job defaults to GOMAXPROCS).
+	BatchWorkers int
 	// MaxJobs bounds the job table: once it grows past the bound, the
 	// oldest terminal jobs (and their retained results) are forgotten, so a
 	// long-lived daemon under sustained traffic does not accumulate every
@@ -73,10 +80,11 @@ type Config struct {
 
 // Manager owns the queue, the workers and the job table.
 type Manager struct {
-	cache   elect.Cache
-	maxJobs int
-	queue   chan *Job
-	wg      sync.WaitGroup
+	cache        elect.Cache
+	maxJobs      int
+	batchWorkers int
+	queue        chan *Job
+	wg           sync.WaitGroup
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -99,10 +107,11 @@ func NewManager(cfg Config) *Manager {
 		maxJobs = 1024
 	}
 	m := &Manager{
-		cache:   cfg.Cache,
-		maxJobs: maxJobs,
-		queue:   make(chan *Job, depth),
-		jobs:    make(map[string]*Job),
+		cache:        cfg.Cache,
+		maxJobs:      maxJobs,
+		batchWorkers: cfg.BatchWorkers,
+		queue:        make(chan *Job, depth),
+		jobs:         make(map[string]*Job),
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -234,7 +243,7 @@ func (m *Manager) worker() {
 		if j.noCache {
 			cache = nil
 		}
-		j.execute(cache)
+		j.execute(cache, m.batchWorkers)
 	}
 }
 
@@ -436,8 +445,9 @@ func (j *Job) finishLocked(state State, err error) {
 	close(j.doneCh)
 }
 
-// execute runs the job on a worker goroutine.
-func (j *Job) execute(cache elect.Cache) {
+// execute runs the job on a worker goroutine. batchWorkers, when positive,
+// caps the parallelism of a batch job's RunMany executor.
+func (j *Job) execute(cache elect.Cache, batchWorkers int) {
 	j.mu.Lock()
 	if j.state != Queued { // canceled while waiting
 		j.mu.Unlock()
@@ -466,6 +476,9 @@ func (j *Job) execute(cache elect.Cache) {
 		b := j.batch
 		b.Cache = cache
 		b.Cancel = j.cancel
+		if batchWorkers > 0 && (b.Workers <= 0 || b.Workers > batchWorkers) {
+			b.Workers = batchWorkers
+		}
 		b.OnResult = func(done, total int) {
 			j.mu.Lock()
 			if done > j.done {

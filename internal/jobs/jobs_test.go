@@ -96,6 +96,37 @@ func TestBatchJobProgress(t *testing.T) {
 	}
 }
 
+// TestBatchWorkersCap: a manager with a per-job parallelism cap clamps each
+// batch's executor, and the capped batch produces results identical to an
+// uncapped direct RunMany (the determinism contract is worker-count
+// independent).
+func TestBatchWorkersCap(t *testing.T) {
+	m := NewManager(Config{Workers: 1, BatchWorkers: 1})
+	defer m.Close()
+	batch := elect.Batch{Ns: []int{16, 32}, Seeds: elect.Seeds(5, 3), Workers: 64}
+	j, err := m.SubmitBatch(mustSpec(t, "tradeoff"), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, j); s.State != Done {
+		t.Fatalf("snapshot %+v", s)
+	}
+	got, ok := j.BatchResult()
+	if !ok {
+		t.Fatal("batch result missing")
+	}
+	want, err := elect.RunMany(mustSpec(t, "tradeoff"),
+		elect.Batch{Ns: []int{16, 32}, Seeds: elect.Seeds(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := elect.EncodeBatchResult(got)
+	wb, _ := elect.EncodeBatchResult(want)
+	if string(gb) != string(wb) {
+		t.Fatal("capped batch diverged from direct RunMany")
+	}
+}
+
 func TestCacheReadThrough(t *testing.T) {
 	cache := resultcache.New()
 	m := NewManager(Config{Workers: 1, Cache: cache})

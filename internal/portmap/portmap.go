@@ -21,7 +21,9 @@ package portmap
 
 import (
 	"fmt"
+	"sync"
 
+	"cliquelect/internal/flatmap"
 	"cliquelect/internal/xrand"
 )
 
@@ -110,32 +112,39 @@ func link(u, v int) uint64 {
 }
 
 // lazyState is the shared machinery of LazyRandom and Adaptive: consistent
-// lazy wiring with feasibility bookkeeping.
+// lazy wiring with feasibility bookkeeping. The wiring lives in flatmap's
+// open-addressing tables — the lazy mappings are the engines' single
+// hottest data structure — but lazyState consumes randomness only through
+// the membership questions the tables answer, so the RNG draw sequence
+// (and hence every execution) is identical to the map-backed
+// representation they replaced.
 type lazyState struct {
 	n     int
 	rng   *xrand.RNG
-	wired map[uint64]uint64   // endpoint -> endpoint (both directions)
-	links map[uint64]struct{} // unordered pairs already wired
-	deg   []int               // wired links per node
+	wired flatmap.U64Map // endpoint -> endpoint (both directions)
+	links flatmap.U64Set // unordered pairs already wired
+	deg   []int          // wired links per node
 }
 
-func newLazyState(n int, rng *xrand.RNG) lazyState {
+func (s *lazyState) init(n int, rng *xrand.RNG) {
 	if n < 2 {
 		panic(fmt.Sprintf("portmap: need n >= 2, got %d", n))
 	}
-	return lazyState{
-		n:     n,
-		rng:   rng,
-		wired: make(map[uint64]uint64),
-		links: make(map[uint64]struct{}),
-		deg:   make([]int, n),
+	s.n = n
+	s.rng = rng
+	s.wired.Reset()
+	s.links.Reset()
+	if cap(s.deg) < n {
+		s.deg = make([]int, n)
+	} else {
+		s.deg = s.deg[:n]
+		clear(s.deg)
 	}
 }
 
 // connected reports whether the link {u,v} is already wired.
 func (s *lazyState) connected(u, v int) bool {
-	_, ok := s.links[link(u, v)]
-	return ok
+	return s.links.Has(link(u, v))
 }
 
 // freePort samples a uniformly random unwired port of v by rejection. v must
@@ -146,7 +155,7 @@ func (s *lazyState) freePort(v int) int {
 	}
 	for {
 		q := s.rng.Intn(s.n - 1)
-		if _, used := s.wired[endpoint(v, q)]; !used {
+		if _, used := s.wired.Get(endpoint(v, q)); !used {
 			return q
 		}
 	}
@@ -154,16 +163,16 @@ func (s *lazyState) freePort(v int) int {
 
 // wire connects (u,p) <-> (v,q).
 func (s *lazyState) wire(u, p, v, q int) {
-	s.wired[endpoint(u, p)] = endpoint(v, q)
-	s.wired[endpoint(v, q)] = endpoint(u, p)
-	s.links[link(u, v)] = struct{}{}
+	s.wired.Put(endpoint(u, p), endpoint(v, q))
+	s.wired.Put(endpoint(v, q), endpoint(u, p))
+	s.links.Add(link(u, v))
 	s.deg[u]++
 	s.deg[v]++
 }
 
 // resolve returns the wired far end of (u,p) if present.
 func (s *lazyState) resolve(u, p int) (int, int, bool) {
-	e, ok := s.wired[endpoint(u, p)]
+	e, ok := s.wired.Get(endpoint(u, p))
 	if !ok {
 		return 0, 0, false
 	}
@@ -179,9 +188,26 @@ type LazyRandom struct {
 	s lazyState
 }
 
-// NewLazyRandom returns a lazy uniform mapping driven by the given RNG.
+// lazyPool recycles LazyRandom mappings between runs. The wiring tables of
+// a large run reach megabytes; re-growing them from scratch for every cell
+// of a sweep costs more than the wiring itself, so engines that construct
+// the default mapping return it with Release when the run ends.
+var lazyPool = sync.Pool{New: func() any { return new(LazyRandom) }}
+
+// NewLazyRandom returns a lazy uniform mapping driven by the given RNG,
+// reusing pooled table capacity from released mappings when available.
 func NewLazyRandom(n int, rng *xrand.RNG) *LazyRandom {
-	return &LazyRandom{s: newLazyState(n, rng)}
+	m := lazyPool.Get().(*LazyRandom)
+	m.s.init(n, rng)
+	return m
+}
+
+// Release returns the mapping's tables to the pool. Only the owner that
+// constructed the mapping may call it, and must not use the mapping (or
+// hand out its wiring) afterwards.
+func (m *LazyRandom) Release() {
+	m.s.rng = nil
+	lazyPool.Put(m)
 }
 
 // N implements Map.
@@ -234,7 +260,9 @@ type Adaptive struct {
 // NewAdaptive builds an adaptive mapping with the given strategy; rng breaks
 // the adversary's ties and serves fallback choices.
 func NewAdaptive(n int, choose Chooser, rng *xrand.RNG) *Adaptive {
-	return &Adaptive{s: newLazyState(n, rng), choose: choose}
+	a := &Adaptive{choose: choose}
+	a.s.init(n, rng)
+	return a
 }
 
 // SetArrivalChooser installs an arrival-port strategy (nil reverts to
@@ -277,7 +305,7 @@ func (m *Adaptive) Dest(u, p int) (int, int) {
 	q := -1
 	if m.chooseArrival != nil {
 		if c := m.chooseArrival(v); c >= 0 && c < m.s.n-1 {
-			if _, used := m.s.wired[endpoint(v, c)]; !used {
+			if _, used := m.s.wired.Get(endpoint(v, c)); !used {
 				q = c
 			}
 		}

@@ -1,0 +1,78 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKindCountsMap(t *testing.T) {
+	var k KindCounts
+	k.Add(0)
+	k.Add(3)
+	k.Add(3)
+	k.Add(255)
+	want := map[uint8]int64{0: 1, 3: 2, 255: 1}
+	if got := k.Map(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Map() = %v, want %v", got, want)
+	}
+	// A kind never sent must be absent, matching the map-increment semantics
+	// the engines previously had.
+	if _, ok := k.Map()[7]; ok {
+		t.Fatal("unsent kind present in map")
+	}
+	var zero KindCounts
+	if got := zero.Map(); len(got) != 0 {
+		t.Fatalf("zero counters produced %v", got)
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	a := GetArena(4)
+	boxes := a.Inboxes()
+	if len(boxes) != 4 {
+		t.Fatalf("len = %d, want 4", len(boxes))
+	}
+	boxes[2] = append(boxes[2], Delivery{Port: 9})
+	a.Release()
+
+	// A warm arena must come back with length-zero buffers: stale deliveries
+	// from the previous run may never leak into a new one.
+	b := GetArena(3)
+	for i, box := range b.Inboxes() {
+		if len(box) != 0 {
+			t.Fatalf("inbox %d not reset: %v", i, box)
+		}
+	}
+	b.Release()
+
+	// Growing past the pooled capacity must produce fresh zeroed buffers.
+	c := GetArena(64)
+	if len(c.Inboxes()) != 64 {
+		t.Fatalf("len = %d, want 64", len(c.Inboxes()))
+	}
+	for i, box := range c.Inboxes() {
+		if len(box) != 0 {
+			t.Fatalf("inbox %d not empty after growth", i)
+		}
+	}
+	c.Release()
+}
+
+func TestSendBufTake(t *testing.T) {
+	var b SendBuf
+	s1 := b.Take(3)
+	if len(s1) != 3 {
+		t.Fatalf("len = %d, want 3", len(s1))
+	}
+	s1[0] = Send{Port: 1}
+	s2 := b.Take(2)
+	if len(s2) != 2 {
+		t.Fatalf("len = %d, want 2", len(s2))
+	}
+	if &s1[0] != &s2[0] {
+		t.Fatal("Take reallocated despite sufficient capacity")
+	}
+	if s3 := b.Take(100); len(s3) != 100 {
+		t.Fatalf("len = %d, want 100", len(s3))
+	}
+}

@@ -36,6 +36,9 @@ type Config struct {
 	// Workers and QueueDepth size the jobs manager (see jobs.Config).
 	Workers    int
 	QueueDepth int
+	// BatchWorkers caps each batch job's sharded RunMany executor (see
+	// jobs.Config.BatchWorkers); 0 leaves every job at GOMAXPROCS.
+	BatchWorkers int
 	// Cache, when non-nil, serves repeated deterministic runs from stored
 	// bytes and reports its counters in /healthz.
 	Cache *resultcache.Cache
@@ -62,9 +65,10 @@ func New(cfg Config) *Server {
 		cache = cfg.Cache
 	}
 	s.mgr = jobs.NewManager(jobs.Config{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-		Cache:      cache,
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		BatchWorkers: cfg.BatchWorkers,
+		Cache:        cache,
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)

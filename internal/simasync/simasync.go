@@ -18,11 +18,13 @@
 package simasync
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"cliquelect/internal/faults"
+	"cliquelect/internal/flatmap"
 	"cliquelect/internal/ids"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
@@ -37,6 +39,10 @@ import (
 // at the current instant. Nodes are expected to keep responding after
 // deciding (Algorithm 2 requires referees to answer compete-messages even
 // when decided), so there is no halt signal: a run ends at quiescence.
+//
+// The engine consumes the returned slice before calling the same instance
+// again, so a protocol may return one reused backing buffer from every
+// Wake/Receive call (see proto.SendBuf).
 type Protocol interface {
 	Wake(env proto.Env) []proto.Send
 	Receive(d proto.Delivery) []proto.Send
@@ -316,18 +322,76 @@ type event struct {
 	d    proto.Delivery
 }
 
+// eventHeap is a hand-rolled binary min-heap over (time, seq). It replaces
+// container/heap on the event loop's hottest edge: the standard library's
+// interface-based Push boxes every event into an allocation, which at one
+// event per message dominated the simulator's allocation profile. (time,
+// seq) is a total order — seq is unique — so the pop sequence is the sorted
+// order regardless of heap internals, and executions are byte-identical to
+// the container/heap implementation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
+
+// scratch is the pooled per-run state of the event loop: the heap's backing
+// array and the FIFO clamp table, both of which reach O(messages) size and
+// are reused across the runs of a sweep.
+type scratch struct {
+	h     eventHeap
+	sched flatmap.U64Map // directed link -> last delivery time bits (FIFO clamp)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.h = s.h[:0]
+	s.sched.Reset()
+	return s
+}
 
 // Run executes the configured asynchronous algorithm to quiescence.
 func Run(cfg Config, factory Factory) (*Result, error) {
@@ -344,7 +408,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	master := xrand.New(cfg.Seed)
 	pm := cfg.Ports
 	if pm == nil && n >= 2 {
-		pm = portmap.NewLazyRandom(n, master.Split())
+		lr := portmap.NewLazyRandom(n, master.Split())
+		defer lr.Release() // engine-owned: nothing retains the wiring
+		pm = lr
 	}
 	delays := cfg.Delays
 	if delays == nil {
@@ -358,26 +424,32 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 
 	nodes := make([]Protocol, n)
 	envs := make([]proto.Env, n)
+	// All node generators live in one flat slice; rngs must outlive the
+	// event loop (protocols hold pointers into it), so it is per-run, not
+	// pooled scratch.
+	rngs := make([]xrand.RNG, n)
 	for u := 0; u < n; u++ {
 		nodes[u] = factory(u)
-		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: master.Split()}
+		master.SplitInto(&rngs[u])
+		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: &rngs[u]}
 	}
 
 	res := &Result{
-		PerKind:   make(map[uint8]int64),
 		Decisions: make([]proto.Decision, n),
 		WakeTime:  make([]float64, n),
 	}
 	for u := range res.WakeTime {
 		res.WakeTime[u] = -1
 	}
+	var kinds proto.KindCounts
 
-	var h eventHeap
+	sc := getScratch()
+	defer scratchPool.Put(sc)
 	var seq int64
 	push := func(e event) {
 		e.seq = seq
 		seq++
-		heap.Push(&h, e)
+		sc.h.push(e)
 	}
 	firstWake := cfg.Wake[0].Time
 	for _, w := range cfg.Wake {
@@ -394,7 +466,6 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	}
 
 	awake := make([]bool, n)
-	lastSched := make(map[uint64]float64) // directed link -> last delivery time (FIFO clamp)
 	linkKey := func(src, dst int) uint64 { return uint64(src)<<32 | uint64(uint32(dst)) }
 	lastEvent := firstWake
 
@@ -412,7 +483,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			v, q := pm.Dest(u, s.Port)
 			res.Messages++
 			res.Words += int64(s.Msg.Words())
-			res.PerKind[s.Msg.Kind]++
+			kinds.Add(s.Msg.Kind)
 			copies := 1
 			if inj != nil {
 				// Fault hook: per-delivery verdict. The message counts as
@@ -441,10 +512,12 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				}
 				at := now + d
 				lk := linkKey(u, v)
-				if prev, ok := lastSched[lk]; ok && at < prev {
-					at = prev // FIFO: no overtaking on a link
+				if bits, ok := sc.sched.Get(lk); ok {
+					if prev := math.Float64frombits(bits); at < prev {
+						at = prev // FIFO: no overtaking on a link
+					}
 				}
-				lastSched[lk] = at
+				sc.sched.Put(lk, math.Float64bits(at))
 				push(event{time: at, kind: evDeliver, node: v, d: proto.Delivery{Port: q, Msg: s.Msg}})
 			}
 		}
@@ -452,13 +525,13 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	}
 
 	var processed int64
-	for h.Len() > 0 {
+	for len(sc.h) > 0 {
 		if processed >= maxEvents {
 			res.TimedOut = true
 			break
 		}
 		processed++
-		e := heap.Pop(&h).(event)
+		e := sc.h.pop()
 		u := e.node
 		if inj != nil {
 			// Fault hook: adaptive adversary tick, then the crash check for
@@ -499,6 +572,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	for u := 0; u < n; u++ {
 		res.Decisions[u] = nodes[u].Decision()
 	}
+	res.PerKind = kinds.Map()
 	res.TimeUnits = lastEvent - firstWake
 	// Final crash sweep: record every crash that fell within the run's span
 	// even if no event for the victim popped after its crash instant —

@@ -1,0 +1,113 @@
+package simsync
+
+import (
+	"reflect"
+	"testing"
+
+	"cliquelect/internal/ids"
+	"cliquelect/internal/proto"
+	"cliquelect/internal/xrand"
+)
+
+// chatty is a multi-round stress protocol for the reuse machinery: every
+// node fans out to a window of ports each round for several rounds, so each
+// round refills every inbox. It draws its sends from a proto.SendBuf, the
+// hot-path idiom the engine contract permits.
+type chatty struct {
+	env    proto.Env
+	rounds int
+	sbuf   proto.SendBuf
+	dec    proto.Decision
+	halted bool
+}
+
+func (p *chatty) Init(env proto.Env) { p.env = env }
+
+func (p *chatty) Send(round int) []proto.Send {
+	if round > p.rounds {
+		return nil
+	}
+	fan := min(8, p.env.Ports())
+	out := p.sbuf.Take(fan)
+	for i := range out {
+		out[i] = proto.Send{Port: (round + i) % p.env.Ports(), Msg: proto.Message{Kind: uint8(round), A: p.env.ID}}
+	}
+	return out
+}
+
+func (p *chatty) Deliver(round int, inbox []proto.Delivery) {
+	if round >= p.rounds {
+		p.dec = proto.NonLeader
+		if p.env.ID == int64(p.env.N) { // sequential IDs: max decides leader
+			p.dec = proto.Leader
+		}
+		p.halted = true
+	}
+}
+
+func (p *chatty) Decision() proto.Decision { return p.dec }
+func (p *chatty) Halted() bool             { return p.halted }
+
+// TestRoundLoopAllocBudget is the engine overhaul's regression tripwire: a
+// warm-pool synchronous run must stay within a fixed allocation budget.
+// The budget covers the per-run cost that legitimately scales with n
+// (protocol instances, Result slices) plus slack for pool misses; it is far
+// below the cost of re-growing inboxes every round (rounds × n extra
+// allocations), so reintroducing per-round allocation trips it immediately.
+func TestRoundLoopAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget is enforced in the non-race build")
+	}
+	const n = 256
+	assign := ids.Sequential(ids.LinearUniverse(n, 1), n)
+	cfg := Config{N: n, IDs: assign, Seed: 9}
+	factory := func(int) Protocol { return &chatty{rounds: 12} }
+	// Warm every pool (arena, port-map tables).
+	if _, err := Run(cfg, factory); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Run(cfg, factory); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Setup costs ~2n+20 allocations (n protocol instances, each growing
+	// its SendBuf once, plus Result and engine slices); the round loop
+	// itself must add none. 2.5*n leaves headroom for pool misses under GC
+	// pressure while still catching any per-round regression (12 rounds ×
+	// 256 inboxes ≈ 3000+ extra allocations).
+	if budget := 2.5 * n; allocs > budget {
+		t.Fatalf("Run allocated %.0f times per run, budget %.0f", allocs, budget)
+	}
+}
+
+// TestStatsIdenticalUnderReuse pins the per-round statistics against the
+// pooling machinery: the same configuration run on cold and warm pools —
+// with a differently-shaped run in between to dirty the buffers — must
+// produce deeply equal Results, including PerRound and PerKind, which are
+// assembled from reused scratch.
+func TestStatsIdenticalUnderReuse(t *testing.T) {
+	const n = 64
+	assign := ids.Random(ids.LogUniverse(n), n, xrand.New(5))
+	cfg := Config{N: n, IDs: assign, Seed: 77}
+	factory := func(int) Protocol { return &chatty{rounds: 6} }
+	cold, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the pools with a different shape.
+	small := ids.Sequential(ids.LinearUniverse(8, 1), 8)
+	if _, err := Run(Config{N: 8, IDs: small, Seed: 1}, func(int) Protocol { return &chatty{rounds: 2} }); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("results diverge under pool reuse:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	if len(cold.PerRound) == 0 || len(cold.PerKind) == 0 {
+		t.Fatalf("stress run produced empty stats: %+v", cold)
+	}
+}

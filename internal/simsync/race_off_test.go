@@ -1,0 +1,7 @@
+//go:build !race
+
+package simsync
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build.
+const raceEnabled = false

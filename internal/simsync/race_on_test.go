@@ -1,0 +1,8 @@
+//go:build race
+
+package simsync
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Race instrumentation changes sync.Pool caching and allocates on
+// its own, so the allocation-budget test is meaningless under it.
+const raceEnabled = true

@@ -37,6 +37,12 @@ import (
 // receives Init followed by Deliver(r, inbox) and makes its first sends in
 // round r+1, matching the paper's wake-at-end-of-round semantics.
 //
+// The engine consumes the slice returned by Send before calling the same
+// instance again, so a protocol may return one reused backing buffer from
+// every Send call (see proto.SendBuf) — the hot-path idiom that keeps the
+// round loop allocation-free. Symmetrically, the inbox passed to Deliver is
+// engine-owned scratch, valid only during the call.
+//
 // Once Halted returns true the engine stops invoking the node; messages
 // addressed to it are still counted but dropped. Decision must be
 // irrevocable once it leaves Undecided.
@@ -243,7 +249,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	portRNG := master.Split()
 	pm := cfg.Ports
 	if pm == nil && n >= 2 {
-		pm = portmap.NewLazyRandom(n, portRNG)
+		lr := portmap.NewLazyRandom(n, portRNG)
+		defer lr.Release() // engine-owned: nothing retains the wiring
+		pm = lr
 	}
 	wake := cfg.Wake
 	if wake == nil {
@@ -259,16 +267,21 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		nodes[u] = factory(u)
 	}
 	res := &Result{
-		PerRound:  []int64{0},
-		PerKind:   make(map[uint8]int64),
+		PerRound:  make([]int64, 1, 64),
 		Decisions: make([]proto.Decision, n),
 		WakeRound: make([]int, n),
 	}
+	var kinds proto.KindCounts
 
 	awake := make([]bool, n)
 	envs := make([]proto.Env, n)
+	// All node generators live in one flat slice; rngs must outlive the
+	// round loop (protocols hold pointers into it), so it is per-run, not
+	// arena scratch.
+	rngs := make([]xrand.RNG, n)
 	for u := 0; u < n; u++ {
-		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: master.Split()}
+		master.SplitInto(&rngs[u])
+		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: &rngs[u]}
 	}
 	initial := wake.AwakeAtStart(n)
 	if len(initial) == 0 {
@@ -286,7 +299,12 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	}
 
 	epKey := func(u, p int) uint64 { return uint64(u)<<32 | uint64(uint32(p)) }
-	inbox := make([][]proto.Delivery, n)
+	// The per-node inboxes come from the pooled arena: their capacity
+	// survives both the per-round reset and the run itself, so a steady
+	// sweep of same-shape runs delivers every message without allocating.
+	arena := proto.GetArena(n)
+	defer arena.Release()
+	inbox := arena.Inboxes()
 	var usedPort map[uint64]struct{} // ports that carried traffic (Trace only)
 	if cfg.Trace != nil {
 		usedPort = make(map[uint64]struct{})
@@ -350,7 +368,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				res.Messages++
 				res.Words += int64(s.Msg.Words())
 				res.PerRound[r]++
-				res.PerKind[s.Msg.Kind]++
+				kinds.Add(s.Msg.Kind)
 				copies := 1
 				if inj != nil {
 					// Fault hook: per-delivery verdict. The message counts as
@@ -370,10 +388,12 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		if res.PerRound[r] > 0 {
 			lastActivity = r
 		}
-		// Receive phase: wake sleepers, deliver, tick every awake node.
+		// Receive phase: wake sleepers, deliver, tick every awake node. The
+		// inbox is reset to length zero, not dropped: next round's deliveries
+		// reuse its capacity.
 		for v := 0; v < n; v++ {
 			box := inbox[v]
-			inbox[v] = nil
+			inbox[v] = box[:0]
 			if dead != nil && dead[v] {
 				continue // a crashed node's inbox is lost with it
 			}
@@ -410,6 +430,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		res.Decisions[u] = nodes[u].Decision()
 	}
 	res.Rounds = lastActivity
+	res.PerKind = kinds.Map()
 	res.Crashed = inj.Crashed()
 	res.Dropped = inj.Dropped()
 	res.Duplicated = inj.Duplicated()

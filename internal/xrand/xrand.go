@@ -29,6 +29,13 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// SplitInto is Split without the allocation: it reseeds dst with the same
+// stream Split would have returned. The engines use it to hold all n node
+// generators in one flat slice instead of n heap objects.
+func (r *RNG) SplitInto(dst *RNG) {
+	dst.state = r.Uint64()
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
