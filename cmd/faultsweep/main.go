@@ -4,12 +4,18 @@
 // counters per configuration. Per-seed runs are deterministic, so a table is
 // reproducible from its seed; rows fan out over a worker pool (elect.RunMany).
 //
+// The -workers flag is dual-mode like cmd/sweep's: an integer bounds the
+// local worker pool, a comma-separated host list shards the sweep across a
+// fleet of electd daemons (byte-identical results, per-worker cells/s
+// breakdown at the end).
+//
 // Usage:
 //
 //	faultsweep -algo tradeoff -ns 64,128 -drop 0,0.05,0.1,0.2
 //	faultsweep -algo all -ns 128 -crash 0,0.1,0.3 -csv
 //	faultsweep -algo asynctradeoff -drop 0.1 -faults adaptive=1,dup=0.02
 //	faultsweep -algo tradeoff -ns 256 -seeds 50 -cache /tmp/electcache
+//	faultsweep -algo tradeoff -ns 256 -workers host1:8090,host2:8090
 package main
 
 import (
@@ -17,11 +23,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"cliquelect/elect"
+	"cliquelect/elect/client"
 	"cliquelect/internal/cliutil"
+	"cliquelect/internal/distrib"
 	"cliquelect/internal/resultcache"
 	"cliquelect/internal/stats"
 )
@@ -72,7 +81,7 @@ func run(args []string, w io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "master seed")
 		wake      = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
 		policy    = fs.String("policy", "unit", "async delay policy")
-		workers   = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		workers   = fs.String("workers", "0", "parallel runs (0 = GOMAXPROCS), or a comma-separated electd host list for fleet dispatch")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		cacheDir  = fs.String("cache", "", "persistent result-cache directory; repeated sweeps replay cached runs (adaptive plans always re-execute)")
 	)
@@ -109,6 +118,16 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	localWorkers, fleetHosts, err := cliutil.ParseWorkers(*workers)
+	if err != nil {
+		return err
+	}
+	var fleet *distrib.Fleet
+	if fleetHosts != nil {
+		if fleet, err = distrib.New(distrib.Config{Workers: fleetHosts}); err != nil {
+			return err
+		}
+	}
 
 	var cache *resultcache.Cache
 	if *cacheDir != "" {
@@ -137,10 +156,24 @@ func run(args []string, w io.Writer) error {
 					Ns:      ns,
 					Seeds:   elect.Seeds(*seed, *seeds),
 					Options: opts,
-					Workers: *workers,
+					Workers: localWorkers,
 				}
 				if cache != nil {
 					b.Cache = cache
+				}
+				if fleet != nil {
+					// Mirror opts above in wire form; crash/drop rates ride the
+					// -faults syntax and round-trip exactly ('g' formatting).
+					kk, dd, gg, ee := *k, *d, *g, *eps
+					wire := client.Options{
+						Params: &client.ParamSpec{K: &kk, D: &dd, G: &gg, Eps: &ee},
+						Wake:   *wake,
+						Faults: wireFaults(*base, cr, dr),
+					}
+					if spec.Model == elect.Async {
+						wire.Delays = *policy
+					}
+					b.Remote = fleet.Runner(wire)
 				}
 				batch, err := elect.RunMany(spec, b)
 				if err != nil {
@@ -166,9 +199,30 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "# %d cells in %v (%.0f cells/s)\n",
 			cells, elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
 	}
+	if fleet != nil && !*csv {
+		fmt.Fprint(w, fleet.Stats())
+	}
 	if cache != nil {
 		s := cache.Stats()
 		fmt.Fprintf(w, "# cache: %d hits (%d from disk), %d misses\n", s.Hits, s.DiskHits, s.Misses)
 	}
 	return nil
+}
+
+// wireFaults renders the cell's fault plan in elect.ParseFaults syntax for
+// the wire: the -faults base plan plus the sweep axes' crash/drop rates.
+// FormatFloat 'g' with precision -1 round-trips float64 exactly, so the
+// worker parses the very rates the local path would use.
+func wireFaults(base string, crash, drop float64) string {
+	var parts []string
+	if s := strings.TrimSpace(base); s != "" {
+		parts = append(parts, s)
+	}
+	if crash != 0 {
+		parts = append(parts, "crash="+strconv.FormatFloat(crash, 'g', -1, 64))
+	}
+	if drop != 0 {
+		parts = append(parts, "drop="+strconv.FormatFloat(drop, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
 }

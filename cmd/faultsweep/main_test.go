@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
+
+	"cliquelect/elect"
+	"cliquelect/internal/service"
 )
 
 func sweepCSV(t *testing.T, args ...string) string {
@@ -148,5 +152,59 @@ func TestSweepCacheReplay(t *testing.T) {
 	}
 	if !strings.Contains(warm, ", 0 misses") {
 		t.Fatalf("warm pass was not all hits:\n%s", warm)
+	}
+}
+
+// TestFaultsweepFleetMatchesLocal: a resilience sweep across two electd
+// workers emits byte-identical CSV to the local run — the crash/drop axes
+// ride the wire as fault-plan strings and round-trip exactly.
+func TestFaultsweepFleetMatchesLocal(t *testing.T) {
+	urls := make([]string, 2)
+	for i := range urls {
+		srv := service.New(service.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			srv.Close()
+		})
+		urls[i] = ts.URL
+	}
+	args := []string{"-algo", "tradeoff", "-ns", "32", "-seeds", "4",
+		"-drop", "0,0.1", "-crash", "0,0.25", "-faults", "dup=0.05", "-csv"}
+	var local, fleet bytes.Buffer
+	if err := run(args, &local); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", strings.Join(urls, ",")), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), fleet.Bytes()) {
+		t.Fatalf("fleet CSV differs from local:\n%s\nvs\n%s", fleet.Bytes(), local.Bytes())
+	}
+}
+
+func TestWireFaults(t *testing.T) {
+	for _, tc := range []struct {
+		base        string
+		crash, drop float64
+		want        string
+	}{
+		{"", 0, 0, ""},
+		{"", 0.25, 0, "crash=0.25"},
+		{"", 0, 0.1, "drop=0.1"},
+		{"dup=0.05", 0.1, 0.2, "dup=0.05,crash=0.1,drop=0.2"},
+		{" dup=0.05 ", 0, 0.1, "dup=0.05,drop=0.1"},
+	} {
+		if got := wireFaults(tc.base, tc.crash, tc.drop); got != tc.want {
+			t.Errorf("wireFaults(%q, %v, %v) = %q, want %q", tc.base, tc.crash, tc.drop, got, tc.want)
+		}
+		// Whatever we emit must parse back to the plan the local path builds.
+		plan, err := elect.ParseFaults(wireFaults(tc.base, tc.crash, tc.drop))
+		if err != nil {
+			t.Fatalf("wireFaults(%q, %v, %v) unparseable: %v", tc.base, tc.crash, tc.drop, err)
+		}
+		if plan.CrashRate != tc.crash || plan.DropRate != tc.drop {
+			t.Errorf("round trip lost rates: %+v", plan)
+		}
 	}
 }

@@ -11,6 +11,11 @@
 // and any other elect.Cache consumer), so repeated sweeps replay instead of
 // recompute.
 //
+// The -workers flag is dual-mode: an integer bounds the local worker pool,
+// while a comma-separated host list shards the sweep across that fleet of
+// electd daemons (internal/distrib) — byte-identical output either way,
+// with a per-worker cells/s breakdown at the end of the run.
+//
 // Usage:
 //
 //	sweep -algo tradeoff -k 3,4,5 -ns 256,512,1024,2048
@@ -18,6 +23,7 @@
 //	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -json auto
 //	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -compare BENCH_2026-07-30.json
 //	sweep -algo tradeoff -ns 4096 -seeds 50 -cache /tmp/electcache
+//	sweep -algo tradeoff -ns 4096,8192 -seeds 50 -workers host1:8090,host2:8090
 package main
 
 import (
@@ -28,7 +34,9 @@ import (
 	"time"
 
 	"cliquelect/elect"
+	"cliquelect/elect/client"
 	"cliquelect/internal/cliutil"
+	"cliquelect/internal/distrib"
 	"cliquelect/internal/resultcache"
 	"cliquelect/internal/stats"
 )
@@ -53,7 +61,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "master seed")
 		wake     = fs.Int("wake", 0, "adversarial wake-up set size (0 = simultaneous)")
 		policy   = fs.String("policy", "unit", "async delay policy")
-		workers  = fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		workers  = fs.String("workers", "0", "parallel runs (0 = GOMAXPROCS), or a comma-separated electd host list for fleet dispatch")
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut  = fs.String("json", "", `also write machine-readable benchmark JSON to this path ("auto" = BENCH_<date>.json)`)
 		compare  = fs.String("compare", "", "diff the new rows against this prior BENCH_*.json and fail on >10% regressions")
@@ -77,6 +85,16 @@ func run(args []string) error {
 	ks, err := cliutil.ParseInts(*kFlag)
 	if err != nil {
 		return err
+	}
+	localWorkers, fleetHosts, err := cliutil.ParseWorkers(*workers)
+	if err != nil {
+		return err
+	}
+	var fleet *distrib.Fleet
+	if fleetHosts != nil {
+		if fleet, err = distrib.New(distrib.Config{Workers: fleetHosts}); err != nil {
+			return err
+		}
 	}
 
 	var cache *resultcache.Cache
@@ -102,10 +120,23 @@ func run(args []string) error {
 			Ns:      ns,
 			Seeds:   elect.Seeds(*seed+uint64(k)*104729, *seeds),
 			Options: opts,
-			Workers: *workers,
+			Workers: localWorkers,
 		}
 		if cache != nil {
 			b.Cache = cache
+		}
+		if fleet != nil {
+			// The wire options must describe exactly what opts above does, so
+			// a remote cell is byte-identical to a local one.
+			kk, dd, gg, ee := k, *d, *g, *eps
+			wire := client.Options{
+				Params: &client.ParamSpec{K: &kk, D: &dd, G: &gg, Eps: &ee},
+				Wake:   *wake,
+			}
+			if spec.Model == elect.Async {
+				wire.Delays = *policy
+			}
+			b.Remote = fleet.Runner(wire)
 		}
 		batch, err := elect.RunMany(spec, b)
 		if err != nil {
@@ -140,6 +171,9 @@ func run(args []string) error {
 		fmt.Print(table.String())
 		fmt.Printf("# %d cells in %v (%.0f cells/s)\n",
 			cells, elapsed.Round(time.Millisecond), float64(cells)/elapsed.Seconds())
+	}
+	if fleet != nil && !*csv {
+		fmt.Print(fleet.Stats())
 	}
 	if cache != nil {
 		s := cache.Stats()

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"cliquelect/internal/service"
 )
 
 func TestSweepTradeoff(t *testing.T) {
@@ -132,5 +137,62 @@ func TestSweepCacheFlag(t *testing.T) {
 	// Second invocation replays from the same cache without error.
 	if err := run(args); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// startWorkers boots n in-process electd services and returns their URLs.
+func startWorkers(t *testing.T, n int) string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		srv := service.New(service.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			srv.Close()
+		})
+		urls[i] = ts.URL
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestSweepFleetMatchesLocal is the multi-worker acceptance check: the
+// same sweep dispatched to two electd workers writes a byte-identical
+// BENCH_*.json to a purely local run, for a sync and an async spec.
+func TestSweepFleetMatchesLocal(t *testing.T) {
+	fleet := startWorkers(t, 2)
+	dir := t.TempDir()
+	for name, args := range map[string][]string{
+		"tradeoff":      {"-algo", "tradeoff", "-k", "3,4", "-ns", "32,64", "-seeds", "4"},
+		"asynctradeoff": {"-algo", "asynctradeoff", "-k", "2", "-ns", "32", "-seeds", "4", "-wake", "1"},
+	} {
+		localPath := filepath.Join(dir, name+"-local.json")
+		fleetPath := filepath.Join(dir, name+"-fleet.json")
+		if err := run(append(args, "-json", localPath)); err != nil {
+			t.Fatalf("%s local: %v", name, err)
+		}
+		if err := run(append(args, "-json", fleetPath, "-workers", fleet)); err != nil {
+			t.Fatalf("%s fleet: %v", name, err)
+		}
+		local, err := os.ReadFile(localPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := os.ReadFile(fleetPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(local, remote) {
+			t.Fatalf("%s: fleet BENCH json differs from local:\n%s\nvs\n%s", name, remote, local)
+		}
+	}
+}
+
+func TestSweepWorkersFlagErrors(t *testing.T) {
+	if err := run([]string{"-algo", "tradeoff", "-ns", "32", "-seeds", "1", "-workers", "-2"}); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if err := run([]string{"-algo", "tradeoff", "-ns", "32", "-seeds", "1", "-workers", "h1,,h2"}); err == nil {
+		t.Fatal("malformed host list accepted")
 	}
 }

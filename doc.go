@@ -36,6 +36,12 @@
 // runs and adaptive-adversary plans are uncacheable and bypass the cache.
 // cmd/sweep and cmd/faultsweep share the same cache via -cache DIR.
 //
+// The same contract powers distributed dispatch (internal/distrib): the
+// sweep CLIs' -workers flag shards a batch grid into deterministic chunks
+// across a fleet of electd daemons (POST /v1/chunk), with health-probe
+// load balancing, failover off dead workers and straggler re-dispatch —
+// merging a BatchResult byte-identical to a purely local RunMany.
+//
 // The implementation lives under internal/:
 //
 //   - internal/core — the protocols (Theorems 3.10, 3.15, 3.16, 4.1,
@@ -51,6 +57,8 @@
 //   - internal/experiments — the Table-1 reproduction harness (E1..E13).
 //   - internal/jobs, internal/resultcache, internal/service — the serving
 //     layer behind cmd/electd (job queue, result cache, HTTP handlers).
+//   - internal/distrib — the distributed dispatch fabric: chunk
+//     partitioner, worker registry, failover/straggler scheduler, merger.
 //   - cmd/elect, cmd/sweep, cmd/faultsweep, cmd/experiments,
 //     cmd/lowerbound, cmd/electd — CLIs; cmd/faultsweep prints resilience
 //     tables (election-success rate under swept crash/drop rates) and

@@ -14,6 +14,25 @@ import (
 // before every run was dispatched.
 var ErrCanceled = errors.New("elect: batch canceled")
 
+// ErrNoWorkers is returned by a RemoteRunner when no remote worker is
+// available to take the grid; RunMany treats it as "execute locally
+// instead". Implementations may wrap it.
+var ErrNoWorkers = errors.New("elect: no remote workers available")
+
+// RemoteRunner executes a whole batch grid somewhere other than this
+// process; internal/distrib implements it over a fleet of electd workers.
+// RunGrid receives the defaulted grid axes plus the batch (for Options,
+// Cache, OnResult and Cancel) and must return one Result per cell in the
+// canonical size-major, seed-minor order — each byte-identical on the wire
+// codec to what a local Run of that (n, seed) cell would produce, which the
+// determinism contract guarantees whatever machine computed it. Returning
+// ErrNoWorkers makes RunMany fall back to local execution; a closed
+// Batch.Cancel must surface as ErrCanceled; any other error aborts the
+// batch.
+type RemoteRunner interface {
+	RunGrid(spec Spec, ns []int, seeds []uint64, b *Batch) ([]Result, error)
+}
+
 // Seeds returns count consecutive seeds starting at base — the usual seed
 // list for a Batch.
 func Seeds(base uint64, count int) []uint64 {
@@ -53,6 +72,12 @@ type Batch struct {
 	// closed: in-flight runs finish, queued ones are never dispatched, and
 	// RunMany returns ErrCanceled.
 	Cancel <-chan struct{}
+	// Remote, when non-nil, dispatches the grid through a remote runner (a
+	// distrib fleet of electd workers) instead of the local executor; results
+	// are byte-identical either way. When the runner reports ErrNoWorkers the
+	// batch falls back to local execution, so a configured-but-unreachable
+	// fleet degrades to a plain RunMany.
+	Remote RemoteRunner
 }
 
 // Summary holds summary statistics of one measurement across a batch.
@@ -127,22 +152,74 @@ func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
+	if b.Remote != nil {
+		runs, err := b.Remote.RunGrid(spec, ns, seeds, &b)
+		switch {
+		case err == nil:
+			if len(runs) != len(ns)*len(seeds) {
+				return nil, fmt.Errorf("elect: remote runner returned %d results for a %d-cell grid",
+					len(runs), len(ns)*len(seeds))
+			}
+			return assembleBatch(ns, seeds, runs), nil
+		case !errors.Is(err, ErrNoWorkers):
+			return nil, err
+		}
+		// No fleet reachable: degrade to local execution.
+	}
+	runs, err := runCells(spec, b, ns, seeds, 0, len(ns)*len(seeds))
+	if err != nil {
+		return nil, err
+	}
+	return assembleBatch(ns, seeds, runs), nil
+}
+
+// RunRange executes the contiguous cell range [start, start+count) of the
+// batch's canonical grid — the same size-major, seed-minor order RunMany
+// uses — and returns the per-cell Results in range order. It is the
+// worker-side half of distributed dispatch: a fleet scheduler partitions
+// the grid into ranges, each electd worker executes its ranges with
+// RunRange, and the merged grid is byte-identical to one local RunMany
+// because every cell is a pure function of its own (n, seed). Workers,
+// Cache, OnResult and Cancel are honored as in RunMany (OnResult's
+// done/total are relative to the range); Remote is ignored — ranges always
+// execute locally.
+func RunRange(spec Spec, b Batch, start, count int) ([]Result, error) {
+	ns := b.Ns
+	if len(ns) == 0 {
+		ns = []int{64}
+	}
+	seeds := b.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	total := len(ns) * len(seeds)
+	if start < 0 || count < 1 || start+count > total {
+		return nil, fmt.Errorf("elect: cell range [%d, %d) outside the %d-cell grid",
+			start, start+count, total)
+	}
+	return runCells(spec, b, ns, seeds, start, count)
+}
+
+// runCells is the local executor shared by RunMany and RunRange: it runs
+// cells [start, start+count) of the ns × seeds grid and returns their
+// Results in cell order.
+func runCells(spec Spec, b Batch, ns []int, seeds []uint64, start, count int) ([]Result, error) {
 	workers := b.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	total := len(ns) * len(seeds)
-	if workers > total {
-		workers = total
+	if workers > count {
+		workers = count
 	}
 
-	runs := make([]Result, total)
-	errs := make([]error, total)
-	runCell := func(idx int) {
+	runs := make([]Result, count)
+	errs := make([]error, count)
+	runCell := func(i int) {
+		idx := start + i
 		opts := make([]Option, 0, len(b.Options)+2)
 		opts = append(opts, b.Options...)
 		opts = append(opts, WithN(ns[idx/len(seeds)]), WithSeed(seeds[idx%len(seeds)]))
-		runs[idx], _, errs[idx] = RunCached(b.Cache, spec, opts...)
+		runs[i], _, errs[i] = RunCached(b.Cache, spec, opts...)
 	}
 	canceled := func() bool {
 		select {
@@ -157,31 +234,30 @@ func RunMany(spec Spec, b Batch) (*BatchResult, error) {
 	if workers == 1 {
 		// Serial reference path: claim cells in grid order on the caller's
 		// goroutine.
-		for ; claimed < total; claimed++ {
+		for ; claimed < count; claimed++ {
 			if canceled() {
 				break
 			}
 			runCell(claimed)
 			if b.OnResult != nil {
-				b.OnResult(claimed+1, total)
+				b.OnResult(claimed+1, count)
 			}
 		}
 	} else {
-		claimed = runSharded(total, workers, runCell, canceled, b.OnResult)
+		claimed = runSharded(count, workers, runCell, canceled, b.OnResult)
 	}
-	if claimed < total {
+	if claimed < count {
 		return nil, ErrCanceled
 	}
 
-	for idx, err := range errs {
+	for i, err := range errs {
 		if err != nil {
+			idx := start + i
 			return nil, fmt.Errorf("elect: run n=%d seed=%d: %w",
 				ns[idx/len(seeds)], seeds[idx%len(seeds)], err)
 		}
 	}
-
-	out := assembleBatch(ns, seeds, runs)
-	return out, nil
+	return runs, nil
 }
 
 // runSharded is RunMany's parallel executor: cells [0, total) are split

@@ -29,7 +29,19 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// retry policy for transient failures (see WithRetry).
+	retryAttempts int
+	retryBase     time.Duration
 }
+
+// Retry defaults: every request is tried up to 3 times, backing off
+// exponentially from 100ms and never sleeping longer than 2s between tries.
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryBase     = 100 * time.Millisecond
+	maxRetryBackoff      = 2 * time.Second
+)
 
 // ClientOption configures New.
 type ClientOption func(*Client)
@@ -38,9 +50,31 @@ type ClientOption func(*Client)
 // transports, test doubles).
 func WithHTTPClient(h *http.Client) ClientOption { return func(c *Client) { c.http = h } }
 
+// WithRetry overrides the transient-failure retry policy: attempts is the
+// total number of tries (1 disables retrying), base the first backoff
+// delay. Only connection-level errors and 502/503/504 answers are retried —
+// all electd requests are safe to repeat (runs are deterministic and
+// content-addressed) — so a fleet client rides out worker restarts instead
+// of failing the first sweep chunk it dispatches.
+func WithRetry(attempts int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if attempts >= 1 {
+			c.retryAttempts = attempts
+		}
+		if base > 0 {
+			c.retryBase = base
+		}
+	}
+}
+
 // New builds a client for the daemon at base, e.g. "http://localhost:8090".
 func New(base string, opts ...ClientOption) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	c := &Client{
+		base:          strings.TrimRight(base, "/"),
+		http:          &http.Client{},
+		retryAttempts: DefaultRetryAttempts,
+		retryBase:     DefaultRetryBase,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -96,6 +130,18 @@ func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (*JobStatus,
 		return nil, err
 	}
 	return &out.Job, nil
+}
+
+// Chunk executes a contiguous cell range of a batch grid synchronously and
+// returns the per-cell results. This is the worker-side call of distributed
+// dispatch (internal/distrib); the request names the full grid so every
+// worker computes cells under identical indexing.
+func (c *Client) Chunk(ctx context.Context, req ChunkRequest) (*ChunkResponse, error) {
+	var out ChunkResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/chunk", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Job fetches one job, including its result once terminal.
@@ -202,38 +248,77 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*Jo
 	return nil, fmt.Errorf("electd: SSE stream ended before job %s finished", id)
 }
 
-// do performs one JSON round trip.
+// do performs one JSON round trip, retrying transient failures —
+// connection-level errors and 502/503/504 answers (a restarting or
+// momentarily saturated daemon) — with capped exponential backoff. Definite
+// answers (2xx, 4xx, 422, …) are never retried, and a canceled context
+// aborts the loop immediately.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	backoff := c.retryBase
+	for attempt := 0; attempt < c.retryAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff = min(2*backoff, maxRetryBackoff)
+		}
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeError(resp)
-	}
-	if out == nil {
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			lastErr = err // connection refused/reset, DNS, ...: retryable
+			continue
+		}
+		if TransientStatus(resp.StatusCode) {
+			lastErr = decodeError(resp)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return decodeError(resp)
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("electd: decoding %s %s response: %w", method, path, err)
+		}
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("electd: decoding %s %s response: %w", method, path, err)
-	}
-	return nil
+	return lastErr
+}
+
+// TransientStatus reports daemon answers worth repeating against the same
+// or another worker: gateway failures and explicit back-pressure (electd's
+// full queue is a 503 + Retry-After). It is the single authority on
+// transience — the client's retry loop and the distrib fleet's
+// abort-vs-failover decision both consult it, so the two cannot drift.
+func TransientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
 }
 
 func decodeError(resp *http.Response) error {

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer answers the first fail requests with the given status, then
+// serves a healthy /healthz body, counting every request it sees.
+func flakyServer(t *testing.T, fail int, status int) (*Client, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fail) {
+			http.Error(w, `{"error":"transient"}`, status)
+			return
+		}
+		json.NewEncoder(w).Encode(Health{OK: true})
+	}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL, WithRetry(3, time.Millisecond)), &calls
+}
+
+// TestRetryTransient5xx: 502/503/504 answers are retried with backoff until
+// the daemon recovers, invisible to the caller.
+func TestRetryTransient5xx(t *testing.T) {
+	for _, status := range []int{http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout} {
+		c, calls := flakyServer(t, 2, status)
+		h, err := c.Health(context.Background())
+		if err != nil || !h.OK {
+			t.Fatalf("status %d: health after retries: %+v err=%v", status, h, err)
+		}
+		if got := calls.Load(); got != 3 {
+			t.Fatalf("status %d: %d requests, want 3", status, got)
+		}
+	}
+}
+
+// TestRetryExhausted: a daemon that never recovers surfaces the last 503 —
+// after exactly the configured number of tries.
+func TestRetryExhausted(t *testing.T) {
+	c, calls := flakyServer(t, 1000, http.StatusServiceUnavailable)
+	_, err := c.Health(context.Background())
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("got %v, want APIError 503", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3", got)
+	}
+}
+
+// TestNoRetryOnDefiniteAnswer: 4xx is a definite answer, never repeated.
+func TestNoRetryOnDefiniteAnswer(t *testing.T) {
+	c, calls := flakyServer(t, 1000, http.StatusBadRequest)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("400 not surfaced")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d requests, want 1 (4xx must not be retried)", got)
+	}
+}
+
+// TestRetryConnectionError: a dead listener (worker restarting) is retried;
+// WithRetry(1, …) disables retrying entirely.
+func TestRetryConnectionError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens: every dial fails
+	c := New(ts.URL, WithRetry(2, time.Millisecond))
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("dead listener answered")
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("no backoff between connection retries")
+	}
+
+	single, calls := flakyServer(t, 1000, http.StatusServiceUnavailable)
+	WithRetry(1, time.Millisecond)(single)
+	if _, err := single.Health(context.Background()); err == nil {
+		t.Fatal("503 not surfaced")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d requests, want 1 (retries disabled)", got)
+	}
+}
+
+// TestRetryHonorsContext: a canceled context stops the backoff loop.
+func TestRetryHonorsContext(t *testing.T) {
+	c, _ := flakyServer(t, 1000, http.StatusServiceUnavailable)
+	WithRetry(100, 50*time.Millisecond)(c)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("canceled request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop ignored context for %v", elapsed)
+	}
+}

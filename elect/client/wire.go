@@ -204,6 +204,48 @@ func (r BatchRequest) Resolve() (elect.Spec, elect.Batch, error) {
 	}, nil
 }
 
+// ChunkRequest is the body of POST /v1/chunk: a contiguous cell range of a
+// batch grid, executed synchronously. It is the worker-side wire form of
+// distributed dispatch (internal/distrib shards a grid into these): Ns and
+// Seeds describe the FULL grid in canonical size-major, seed-minor order,
+// and Start/Count select the cells this worker computes — so every worker
+// sees the same grid and cell indexing, whatever subset it is handed.
+type ChunkRequest struct {
+	Spec string `json:"spec"`
+	// Ns and Seeds are the full grid axes; empty means {64} and {1} as in
+	// BatchRequest (the scheduler normally sends both explicitly).
+	Ns    []int    `json:"ns,omitempty"`
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Start/Count select cells [start, start+count) of the grid.
+	Start int `json:"start"`
+	Count int `json:"count"`
+	// Workers caps the chunk's local parallelism; 0 defers to the daemon's
+	// batch-workers cap.
+	Workers int `json:"workers,omitempty"`
+	Options
+}
+
+// Resolve converts the request into a spec, a batch and the cell range.
+func (r ChunkRequest) Resolve() (elect.Spec, elect.Batch, error) {
+	spec, err := elect.Lookup(r.Spec)
+	if err != nil {
+		return elect.Spec{}, elect.Batch{}, err
+	}
+	opts, err := r.Options.resolve(spec.Model)
+	if err != nil {
+		return elect.Spec{}, elect.Batch{}, err
+	}
+	return spec, elect.Batch{
+		Ns: r.Ns, Seeds: r.Seeds, Options: opts, Workers: r.Workers,
+	}, nil
+}
+
+// ChunkResponse is the body answering POST /v1/chunk: one Result per cell
+// of the requested range, in cell order, on the stable result codec.
+type ChunkResponse struct {
+	Results []elect.Result `json:"results"`
+}
+
 // JobStatus is the wire view of one job (see GET /v1/jobs/{id} and the SSE
 // progress events).
 type JobStatus struct {
@@ -284,12 +326,23 @@ type CacheStats struct {
 	Entries    int   `json:"entries"`
 }
 
-// Health is the body of GET /healthz.
+// Health is the body of GET /healthz. Beyond liveness it carries the load
+// gauges a fleet scheduler (internal/distrib) balances on: how much work is
+// waiting, how much is executing, and how parallel each job may run.
 type Health struct {
 	OK            bool           `json:"ok"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Jobs          map[string]int `json:"jobs"`
-	Cache         *CacheStats    `json:"cache,omitempty"`
+	// QueueDepth is the number of jobs (runs, batches, chunks) accepted but
+	// not yet executing.
+	QueueDepth int `json:"queue_depth"`
+	// ActiveJobs is the number of jobs currently executing.
+	ActiveJobs int `json:"active_jobs"`
+	// BatchWorkers is the daemon's effective per-job sweep parallelism — the
+	// -batch-workers cap, or GOMAXPROCS when uncapped — i.e. this worker's
+	// per-chunk capacity.
+	BatchWorkers int         `json:"batch_workers"`
+	Cache        *CacheStats `json:"cache,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx API answer.

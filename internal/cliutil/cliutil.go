@@ -23,6 +23,33 @@ func ParseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseWorkers interprets the sweep CLIs' -workers flag, which is
+// dual-mode: a bare integer is local parallelism (0 = GOMAXPROCS), while
+// anything else is a comma-separated list of electd worker hosts/URLs for
+// distributed fleet dispatch ("host1:8090,host2:8090"). Exactly one of the
+// two returns is meaningful: fleet is nil in integer mode, local is 0 in
+// fleet mode.
+func ParseWorkers(s string) (local int, fleet []string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil, nil
+	}
+	if v, aerr := strconv.Atoi(s); aerr == nil {
+		if v < 0 {
+			return 0, nil, fmt.Errorf("bad worker count %d", v)
+		}
+		return v, nil, nil
+	}
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return 0, nil, fmt.Errorf("bad worker list %q: empty entry", s)
+		}
+		fleet = append(fleet, p)
+	}
+	return 0, fleet, nil
+}
+
 // ParseFloats parses a comma-separated float list, tolerating whitespace.
 func ParseFloats(s string) ([]float64, error) {
 	parts := strings.Split(s, ",")

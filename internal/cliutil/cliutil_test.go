@@ -21,3 +21,41 @@ func TestParseFloats(t *testing.T) {
 		t.Fatal("bad list accepted")
 	}
 }
+
+func TestParseWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		local int
+		fleet []string
+		ok    bool
+	}{
+		{"", 0, nil, true},
+		{"0", 0, nil, true},
+		{"8", 8, nil, true},
+		{" 4 ", 4, nil, true},
+		{"-1", 0, nil, false},
+		{"host1:8090", 0, []string{"host1:8090"}, true},
+		{"h1:1, h2:2 ,h3:3", 0, []string{"h1:1", "h2:2", "h3:3"}, true},
+		{"http://h1:8090,https://h2", 0, []string{"http://h1:8090", "https://h2"}, true},
+		{"h1,,h2", 0, nil, false},
+		{",", 0, nil, false},
+	} {
+		local, fleet, err := ParseWorkers(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseWorkers(%q) err = %v, ok = %v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if local != tc.local || len(fleet) != len(tc.fleet) {
+			t.Errorf("ParseWorkers(%q) = %d, %v", tc.in, local, fleet)
+			continue
+		}
+		for i := range fleet {
+			if fleet[i] != tc.fleet[i] {
+				t.Errorf("ParseWorkers(%q)[%d] = %q, want %q", tc.in, i, fleet[i], tc.fleet[i])
+			}
+		}
+	}
+}

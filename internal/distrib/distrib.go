@@ -1,0 +1,564 @@
+// Package distrib is the distributed dispatch fabric: it shards a batch
+// grid into deterministic cell chunks and farms them out to a fleet of
+// remote electd workers over the /v1/chunk wire call, merging the results
+// into exactly the grid a local elect.RunMany would produce.
+//
+// A Fleet is a registry of workers with health probes and in-flight
+// tracking. Runner binds a Fleet to the wire-form options of one sweep
+// configuration and yields an elect.RemoteRunner, so dispatch plugs into
+// the public API as Batch.Remote:
+//
+//	fleet, _ := distrib.New(distrib.Config{Workers: hosts})
+//	b.Remote = fleet.Runner(client.Options{Params: &client.ParamSpec{K: &k}})
+//	batch, err := elect.RunMany(spec, b) // remote, byte-identical to local
+//
+// The determinism contract (ARCHITECTURE.md) is what makes the fabric
+// sound: every cell's Result is a pure function of its own (n, seed), so
+// chunk placement, failover, straggler duplicates and merge order cannot
+// change a single result byte. A sweep run on 8 daemons is byte-identical
+// to the same sweep run on 1 local core — including when a worker dies
+// mid-sweep and its chunks fail over to the survivors (or, with no
+// survivor left, to local execution). The merger reuses the fingerprint
+// cache: cells already cached are never dispatched, merged results are
+// stored back, and so re-dispatched or re-run cells are free.
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cliquelect/elect"
+	"cliquelect/elect/client"
+)
+
+// Config assembles a Fleet.
+type Config struct {
+	// Workers lists the electd base URLs; a bare "host:port" is given the
+	// http scheme. At least one is required.
+	Workers []string
+	// ChunkSize overrides the deterministic per-grid chunk size; 0 means
+	// DefaultChunkSize(total). Must not depend on fleet size (the
+	// partitioner contract).
+	ChunkSize int
+	// MaxInflight bounds the chunks concurrently in flight per worker, so a
+	// fast worker pipelines while a saturated one is left alone; 0 means 2.
+	MaxInflight int
+	// ProbeTimeout bounds each health probe; 0 means 2s.
+	ProbeTimeout time.Duration
+	// StragglerAfter is how long a chunk may be in flight before an idle
+	// worker is given a duplicate copy (first answer wins); 0 means 30s.
+	StragglerAfter time.Duration
+	// Logf, when non-nil, receives one line per fleet event (probe results,
+	// failovers, straggler re-dispatches).
+	Logf func(format string, args ...any)
+	// ClientOptions are applied to every worker's client (retry tuning,
+	// test transports).
+	ClientOptions []client.ClientOption
+}
+
+// Fleet is a registry of electd workers plus the chunk scheduler. All
+// methods are safe for concurrent use, and one Fleet may serve many grids
+// (cmd/sweep reuses it across its parameter loop).
+type Fleet struct {
+	cfg     Config
+	workers []*worker
+
+	retried     atomic.Int64 // chunks re-dispatched (failover + stragglers)
+	localCells  atomic.Int64 // cells executed locally because no worker was alive
+	cachedCells atomic.Int64 // cells resolved from the fingerprint cache, never dispatched
+}
+
+// worker is one registered electd daemon and its live accounting.
+type worker struct {
+	url string
+	c   *client.Client
+
+	mu         sync.Mutex
+	alive      bool
+	queueDepth int // from the last probe: jobs waiting on the daemon
+	capacity   int // from the last probe: the daemon's batch_workers
+	inflight   int // chunks currently dispatched to this worker
+
+	cells  int64
+	chunks int64
+	busy   time.Duration
+}
+
+// New builds a Fleet over the given worker URLs. No probing happens here;
+// the first RunGrid (or an explicit Probe) discovers who is alive.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("distrib: no workers configured")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.StragglerAfter <= 0 {
+		cfg.StragglerAfter = 30 * time.Second
+	}
+	f := &Fleet{cfg: cfg}
+	for _, raw := range cfg.Workers {
+		url := NormalizeURL(raw)
+		if url == "" {
+			return nil, fmt.Errorf("distrib: empty worker URL in %v", cfg.Workers)
+		}
+		f.workers = append(f.workers, &worker{url: url, c: client.New(url, cfg.ClientOptions...)})
+	}
+	return f, nil
+}
+
+// NormalizeURL turns a worker flag value into a base URL: whitespace is
+// trimmed and a bare host:port gets the http scheme.
+func NormalizeURL(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// Probe health-checks every worker in parallel, refreshing liveness and the
+// load gauges the scheduler balances on, and returns how many are alive. A
+// worker marked dead by an earlier failure gets a fresh chance here.
+func (f *Fleet) Probe(ctx context.Context) int {
+	var wg sync.WaitGroup
+	for _, w := range f.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
+			defer cancel()
+			h, err := w.c.Health(pctx)
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			w.alive = err == nil && h.OK
+			if w.alive {
+				w.queueDepth = h.QueueDepth
+				w.capacity = h.BatchWorkers
+			} else if f.cfg.Logf != nil {
+				f.cfg.Logf("distrib: worker %s unreachable: %v", w.url, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	alive := 0
+	for _, w := range f.workers {
+		w.mu.Lock()
+		if w.alive {
+			alive++
+		}
+		w.mu.Unlock()
+	}
+	return alive
+}
+
+// Runner binds the fleet to one sweep configuration's wire options and
+// returns the elect.RemoteRunner to put in Batch.Remote. The wire options
+// must describe the same configuration as the batch's elect options — the
+// CLIs build both from the same flags.
+func (f *Fleet) Runner(opts client.Options) elect.RemoteRunner {
+	return &runner{f: f, opts: opts}
+}
+
+type runner struct {
+	f    *Fleet
+	opts client.Options
+}
+
+func (r *runner) RunGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batch) ([]elect.Result, error) {
+	return r.f.runGrid(spec, ns, seeds, b, r.opts)
+}
+
+// chunkState is the scheduler's view of one chunk.
+type chunkState struct {
+	done     bool
+	inflight int                  // concurrent dispatch attempts (straggler dups)
+	since    time.Time            // first dispatch, for straggler detection
+	on       map[*worker]struct{} // workers this chunk is currently running on
+}
+
+// completion is one dispatch attempt's outcome, delivered to the scheduler.
+type completion struct {
+	ci      int
+	w       *worker
+	results []elect.Result
+	dur     time.Duration
+	err     error
+}
+
+// runGrid is the scheduler: partition, probe, dispatch, failover, merge.
+func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batch, wopts client.Options) ([]elect.Result, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if b.Cancel != nil {
+		go func() {
+			select {
+			case <-b.Cancel:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	if f.Probe(ctx) == 0 {
+		return nil, fmt.Errorf("distrib: none of %d workers alive: %w", len(f.workers), elect.ErrNoWorkers)
+	}
+
+	total := len(ns) * len(seeds)
+	chunks := Partition(total, f.cfg.ChunkSize)
+	runs := make([]elect.Result, total)
+	keys := f.fingerprints(spec, ns, seeds, b)
+
+	// localBatch executes chunks in-process: the failover of last resort
+	// (and the cache probe path). Remote/OnResult are cleared — progress is
+	// reported per merged cell by the scheduler itself.
+	localBatch := *b
+	localBatch.Ns, localBatch.Seeds = ns, seeds
+	localBatch.Remote, localBatch.OnResult = nil, nil
+
+	states := make([]chunkState, len(chunks))
+	var merged int64 // cells merged, for OnResult
+	doneChunks := 0
+	// store is true only for remotely computed cells: cache-resolved chunks
+	// were just read from the cache, and local-fallback cells were already
+	// stored by RunCached — re-Putting either would rewrite disk entries
+	// with the bytes they already hold.
+	finish := func(ci int, results []elect.Result, store bool) {
+		states[ci].done = true
+		doneChunks++
+		for i, res := range results {
+			idx := chunks[ci].Start + i
+			runs[idx] = res
+			if store && keys != nil && keys[idx] != "" && b.Cache != nil {
+				if data, err := elect.EncodeResult(res); err == nil {
+					b.Cache.Put(keys[idx], data)
+				}
+			}
+			merged++
+			if b.OnResult != nil {
+				b.OnResult(int(merged), total)
+			}
+		}
+	}
+
+	compCh := make(chan completion)
+	outstanding := 0
+	dispatch := func(ci int) bool {
+		w := f.pickWorker(states[ci].on)
+		if w == nil {
+			return false
+		}
+		st := &states[ci]
+		if st.on == nil {
+			st.on = make(map[*worker]struct{}, 2)
+		}
+		st.on[w] = struct{}{}
+		st.inflight++
+		if st.since.IsZero() {
+			st.since = time.Now()
+		}
+		outstanding++
+		ch := chunks[ci]
+		go func() {
+			start := time.Now()
+			resp, err := w.c.Chunk(ctx, client.ChunkRequest{
+				Spec: spec.Name, Ns: ns, Seeds: seeds,
+				Start: ch.Start, Count: ch.Count, Options: wopts,
+			})
+			comp := completion{ci: ci, w: w, dur: time.Since(start), err: err}
+			if err == nil {
+				if len(resp.Results) != ch.Count {
+					comp.err = fmt.Errorf("distrib: worker %s returned %d results for a %d-cell chunk",
+						w.url, len(resp.Results), ch.Count)
+				} else {
+					comp.results = resp.Results
+				}
+			}
+			// Settle the worker's accounting here, not in the scheduler: when
+			// runGrid exits with this dispatch still in flight (straggler race
+			// won elsewhere, abort, cancel) the completion below is dropped,
+			// and a reusable Fleet must not leak the in-flight slot.
+			w.endChunk(comp.err == nil, ch.Count, comp.dur)
+			select {
+			case compCh <- comp:
+			case <-ctx.Done():
+			}
+		}()
+		return true
+	}
+
+	pending := make([]int, 0, len(chunks))
+	for ci := range chunks {
+		pending = append(pending, ci)
+	}
+	stragglerTick := max(f.cfg.StragglerAfter/4, 10*time.Millisecond)
+
+	for doneChunks < len(chunks) {
+		// Dispatch everything dispatchable; cache-satisfied chunks are merged
+		// without touching the network (this is also what makes re-enqueued
+		// chunks free when their cells got merged meanwhile).
+		still := pending[:0]
+		for _, ci := range pending {
+			if states[ci].done {
+				continue
+			}
+			if results, ok := f.fromCache(b.Cache, keys, chunks[ci]); ok {
+				f.cachedCells.Add(int64(chunks[ci].Count))
+				finish(ci, results, false)
+				continue
+			}
+			if !dispatch(ci) {
+				still = append(still, ci)
+			}
+		}
+		pending = still
+		if doneChunks == len(chunks) {
+			break
+		}
+
+		if outstanding == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// Every worker is dead (or saturated to zero): fail the next
+			// chunk over to local execution so the sweep still completes.
+			ci := pending[0]
+			pending = pending[1:]
+			if f.cfg.Logf != nil {
+				f.cfg.Logf("distrib: no worker alive, running chunk [%d, %d) locally",
+					chunks[ci].Start, chunks[ci].End())
+			}
+			results, err := elect.RunRange(spec, localBatch, chunks[ci].Start, chunks[ci].Count)
+			if err != nil {
+				return nil, err
+			}
+			f.localCells.Add(int64(chunks[ci].Count))
+			finish(ci, results, false)
+			continue
+		}
+
+		select {
+		case <-ctx.Done():
+			return nil, elect.ErrCanceled
+		case comp := <-compCh:
+			outstanding--
+			st := &states[comp.ci]
+			st.inflight--
+			delete(st.on, comp.w)
+			switch {
+			case comp.err != nil && definite(comp.err):
+				// The daemon answered: this configuration fails everywhere.
+				return nil, fmt.Errorf("distrib: chunk [%d, %d) on %s: %w",
+					chunks[comp.ci].Start, chunks[comp.ci].End(), comp.w.url, comp.err)
+			case comp.err != nil:
+				if f.cfg.Logf != nil {
+					f.cfg.Logf("distrib: worker %s failed chunk [%d, %d): %v",
+						comp.w.url, chunks[comp.ci].Start, chunks[comp.ci].End(), comp.err)
+				}
+				if !st.done && st.inflight == 0 {
+					f.retried.Add(1)
+					pending = append(pending, comp.ci)
+				}
+			case st.done:
+				// A straggler's duplicate finished too; first answer won.
+			default:
+				finish(comp.ci, comp.results, true)
+			}
+		case <-time.After(stragglerTick):
+			for ci := range states {
+				st := &states[ci]
+				if st.done || st.inflight != 1 || time.Since(st.since) < f.cfg.StragglerAfter {
+					continue
+				}
+				if dispatch(ci) {
+					f.retried.Add(1)
+					if f.cfg.Logf != nil {
+						f.cfg.Logf("distrib: chunk [%d, %d) straggling %v, re-dispatched",
+							chunks[ci].Start, chunks[ci].End(), time.Since(st.since).Round(time.Millisecond))
+					}
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// fingerprints computes every cell's cache key, or nil when the batch has
+// no cache. Uncacheable configurations (adaptive adversaries) leave empty
+// keys and always dispatch.
+func (f *Fleet) fingerprints(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batch) []string {
+	if b.Cache == nil {
+		return nil
+	}
+	keys := make([]string, len(ns)*len(seeds))
+	for idx := range keys {
+		opts := make([]elect.Option, 0, len(b.Options)+2)
+		opts = append(opts, b.Options...)
+		opts = append(opts, elect.WithN(ns[idx/len(seeds)]), elect.WithSeed(seeds[idx%len(seeds)]))
+		if key, err := elect.Fingerprint(spec, opts...); err == nil {
+			keys[idx] = key
+		}
+	}
+	return keys
+}
+
+// fromCache resolves a whole chunk from the fingerprint cache, or reports
+// false without side effects (partial hits still dispatch: the worker's own
+// cache covers its cells).
+func (f *Fleet) fromCache(cache elect.Cache, keys []string, ch Chunk) ([]elect.Result, bool) {
+	if cache == nil || keys == nil {
+		return nil, false
+	}
+	results := make([]elect.Result, ch.Count)
+	for i := 0; i < ch.Count; i++ {
+		key := keys[ch.Start+i]
+		if key == "" {
+			return nil, false
+		}
+		data, ok := cache.Get(key)
+		if !ok {
+			return nil, false
+		}
+		res, err := elect.DecodeResult(data)
+		if err != nil {
+			return nil, false
+		}
+		results[i] = res
+	}
+	return results, true
+}
+
+// definite reports errors a different worker cannot fix: the daemon
+// answered with a non-transient status (bad request, failed execution), so
+// the configuration itself is at fault and the grid must abort — exactly
+// like the first run error aborting a local RunMany. Transience is decided
+// by client.TransientStatus, the same predicate the retry loop uses.
+func definite(err error) bool {
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return !client.TransientStatus(apiErr.StatusCode)
+}
+
+// pickWorker chooses the dispatch target: the alive worker with the fewest
+// chunks in flight (below the per-worker bound), ties broken by the lighter
+// probe-time queue, skipping workers in exclude (a straggler's duplicate
+// must go somewhere new). Returns nil when nobody qualifies.
+func (f *Fleet) pickWorker(exclude map[*worker]struct{}) *worker {
+	var best *worker
+	bestInflight, bestQueue := 0, 0
+	for _, w := range f.workers {
+		if _, dup := exclude[w]; dup {
+			continue
+		}
+		w.mu.Lock()
+		alive, inflight, queue := w.alive, w.inflight, w.queueDepth
+		w.mu.Unlock()
+		if !alive || inflight >= f.cfg.MaxInflight {
+			continue
+		}
+		if best == nil || inflight < bestInflight ||
+			(inflight == bestInflight && queue < bestQueue) {
+			best, bestInflight, bestQueue = w, inflight, queue
+		}
+	}
+	if best != nil {
+		best.mu.Lock()
+		best.inflight++
+		best.mu.Unlock()
+	}
+	return best
+}
+
+// endChunk settles a dispatch attempt: accounting on success, death on
+// failure (the next Probe revives a restarted daemon).
+func (w *worker) endChunk(ok bool, cells int, dur time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inflight--
+	if ok {
+		w.cells += int64(cells)
+		w.chunks++
+		w.busy += dur
+	} else {
+		w.alive = false
+	}
+}
+
+// WorkerStats is one worker's accounting across the fleet's lifetime.
+type WorkerStats struct {
+	URL   string
+	Alive bool
+	// Chunks and Cells count successfully completed dispatches; Busy is the
+	// wall time those chunks spent in flight.
+	Chunks int64
+	Cells  int64
+	Busy   time.Duration
+}
+
+// CellsPerSec is the worker's observed throughput (0 before any chunk).
+func (s WorkerStats) CellsPerSec() float64 {
+	if s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.Cells) / s.Busy.Seconds()
+}
+
+// Stats is the fleet-wide accounting the sweep CLIs print.
+type Stats struct {
+	Workers []WorkerStats
+	// ChunksRetried counts re-dispatches: failovers off dead workers plus
+	// straggler duplicates.
+	ChunksRetried int64
+	// LocalCells counts cells executed in-process because no worker was
+	// alive; CachedCells counts cells resolved from the fingerprint cache
+	// without any dispatch.
+	LocalCells  int64
+	CachedCells int64
+}
+
+// String renders the breakdown the sweep CLIs print at end of run: the
+// retry/local/cache counters plus one cells/s line per worker, in "# "
+// comment form matching their other footers.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fleet: %d chunks retried, %d cells run locally, %d cells from cache\n",
+		s.ChunksRetried, s.LocalCells, s.CachedCells)
+	for _, w := range s.Workers {
+		status := "alive"
+		if !w.Alive {
+			status = "dead"
+		}
+		fmt.Fprintf(&b, "# worker %s [%s]: %d cells in %d chunks (%.0f cells/s)\n",
+			w.URL, status, w.Cells, w.Chunks, w.CellsPerSec())
+	}
+	return b.String()
+}
+
+// Stats snapshots the fleet accounting.
+func (f *Fleet) Stats() Stats {
+	out := Stats{
+		ChunksRetried: f.retried.Load(),
+		LocalCells:    f.localCells.Load(),
+		CachedCells:   f.cachedCells.Load(),
+	}
+	for _, w := range f.workers {
+		w.mu.Lock()
+		out.Workers = append(out.Workers, WorkerStats{
+			URL: w.url, Alive: w.alive, Chunks: w.chunks, Cells: w.cells, Busy: w.busy,
+		})
+		w.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,540 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cliquelect/elect"
+	"cliquelect/elect/client"
+	"cliquelect/internal/resultcache"
+	"cliquelect/internal/service"
+)
+
+// harness is one electd worker under test: the real service handler behind
+// a wrapper that records every chunk request, can inject latency, and can
+// start refusing chunks after a set number of requests (a worker killed
+// mid-sweep).
+type harness struct {
+	ts  *httptest.Server
+	srv *service.Server
+
+	mu     sync.Mutex
+	chunks []Chunk
+
+	delay     atomic.Int64 // ns slept before serving a chunk
+	failAfter atomic.Int64 // chunk requests served before dying; <0 = never
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	h := &harness{srv: service.New(service.Config{})}
+	h.failAfter.Store(-1)
+	inner := h.srv.Handler()
+	h.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/chunk" {
+			body, _ := io.ReadAll(r.Body)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var req client.ChunkRequest
+			if json.Unmarshal(body, &req) == nil {
+				h.mu.Lock()
+				h.chunks = append(h.chunks, Chunk{Start: req.Start, Count: req.Count})
+				seen := int64(len(h.chunks))
+				h.mu.Unlock()
+				if fail := h.failAfter.Load(); fail >= 0 && seen > fail {
+					panic(http.ErrAbortHandler) // hang up mid-request, like a killed daemon
+				}
+			}
+			if d := h.delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		h.ts.Close()
+		h.srv.Close()
+	})
+	return h
+}
+
+func (h *harness) served() []Chunk {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Chunk(nil), h.chunks...)
+}
+
+// newFleet builds a fleet over the harnesses with test-friendly timings.
+func newFleet(t *testing.T, cfg Config, hs ...*harness) *Fleet {
+	t.Helper()
+	for _, h := range hs {
+		cfg.Workers = append(cfg.Workers, h.ts.URL)
+	}
+	if cfg.ClientOptions == nil {
+		cfg.ClientOptions = []client.ClientOption{client.WithRetry(2, time.Millisecond)}
+	}
+	if cfg.StragglerAfter == 0 {
+		cfg.StragglerAfter = time.Hour // off unless a test wants it
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustSpec(t *testing.T, name string) elect.Spec {
+	t.Helper()
+	spec, err := elect.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// testGrid is the reference configuration every dispatch test sweeps: the
+// elect options and the wire options describe the same thing, as the CLIs
+// guarantee.
+func testGrid() (elect.Batch, client.Options) {
+	k := 4
+	b := elect.Batch{
+		Ns:    []int{16, 32},
+		Seeds: elect.Seeds(1, 8),
+		Options: []elect.Option{
+			elect.WithParams(elect.Params{K: 4, D: 2, G: 1, Eps: 1.0 / 16}),
+		},
+	}
+	wire := client.Options{Params: &client.ParamSpec{K: &k}}
+	return b, wire
+}
+
+func encodeBatch(t *testing.T, b *elect.BatchResult) []byte {
+	t.Helper()
+	data, err := elect.EncodeBatchResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ total, size, chunks int }{
+		{16, 3, 6}, {16, 16, 1}, {16, 100, 1}, {1, 0, 1}, {0, 5, 0},
+		{64, 0, 64},        // default size for 64 cells is 1
+		{64 * 1024, 0, 64}, // ceil(65536/64) = 1024 = cap
+	} {
+		got := Partition(tc.total, tc.size)
+		if len(got) != tc.chunks {
+			t.Fatalf("Partition(%d, %d) = %d chunks, want %d", tc.total, tc.size, len(got), tc.chunks)
+		}
+		// Chunks cover [0, total) exactly once, in order.
+		next := 0
+		for _, c := range got {
+			if c.Start != next || c.Count < 1 {
+				t.Fatalf("Partition(%d, %d): bad chunk %+v at offset %d", tc.total, tc.size, c, next)
+			}
+			next = c.End()
+		}
+		if next != tc.total {
+			t.Fatalf("Partition(%d, %d) covers %d cells", tc.total, tc.size, next)
+		}
+	}
+	// Determinism: repeated calls agree exactly.
+	for _, total := range []int{1, 7, 64, 1000, 1 << 20} {
+		a, b := Partition(total, 0), Partition(total, 0)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Partition(%d) not deterministic at chunk %d", total, i)
+			}
+		}
+	}
+	if DefaultChunkSize(1<<30) != maxChunkCells {
+		t.Fatal("huge grids must clamp to maxChunkCells")
+	}
+}
+
+// TestFleetMatchesLocal is the heart of the fabric: a grid dispatched to
+// two workers merges byte-identically to the same grid run locally.
+func TestFleetMatchesLocal(t *testing.T) {
+	b, wire := testGrid()
+	spec := mustSpec(t, "tradeoff")
+	local, err := elect.RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1, w2 := newHarness(t), newHarness(t)
+	fleet := newFleet(t, Config{ChunkSize: 3}, w1, w2)
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	var progress atomic.Int64
+	remote.OnResult = func(done, total int) { progress.Store(int64(done)) }
+	got, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBatch(t, local), encodeBatch(t, got)) {
+		t.Fatal("fleet-dispatched grid differs from local RunMany")
+	}
+	if progress.Load() != 16 {
+		t.Fatalf("OnResult reached %d, want 16", progress.Load())
+	}
+	// Both workers actually participated and the union of served chunks is
+	// exactly the partition.
+	c1, c2 := w1.served(), w2.served()
+	if len(c1) == 0 || len(c2) == 0 {
+		t.Fatalf("load not balanced: %d vs %d chunks", len(c1), len(c2))
+	}
+	assertChunkSet(t, append(c1, c2...), Partition(16, 3))
+	stats := fleet.Stats()
+	if stats.ChunksRetried != 0 || stats.LocalCells != 0 {
+		t.Fatalf("healthy fleet reported retries/local cells: %+v", stats)
+	}
+	var cells int64
+	for _, ws := range stats.Workers {
+		if !ws.Alive {
+			t.Fatalf("worker %s reported dead", ws.URL)
+		}
+		cells += ws.Cells
+	}
+	if cells != 16 {
+		t.Fatalf("worker cells sum to %d, want 16", cells)
+	}
+}
+
+// assertChunkSet verifies got is exactly want as a set (order-free).
+func assertChunkSet(t *testing.T, got, want []Chunk) {
+	t.Helper()
+	sortChunks := func(cs []Chunk) {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
+	}
+	got = append([]Chunk(nil), got...)
+	sortChunks(got)
+	sortChunks(want)
+	if len(got) != len(want) {
+		t.Fatalf("served %d chunks, want %d: %v vs %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d: served %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChunkAssignmentFleetSizeIndependent: the satellite determinism
+// property — the same batch shards into the same chunks whether the fleet
+// has one worker or three.
+func TestChunkAssignmentFleetSizeIndependent(t *testing.T) {
+	b, wire := testGrid()
+	spec := mustSpec(t, "tradeoff")
+
+	runWith := func(n int) []Chunk {
+		hs := make([]*harness, n)
+		for i := range hs {
+			hs[i] = newHarness(t)
+		}
+		fleet := newFleet(t, Config{}, hs...)
+		remote := b
+		remote.Remote = fleet.Runner(wire)
+		if _, err := elect.RunMany(spec, remote); err != nil {
+			t.Fatal(err)
+		}
+		var all []Chunk
+		for _, h := range hs {
+			all = append(all, h.served()...)
+		}
+		return all
+	}
+	one, three := runWith(1), runWith(3)
+	assertChunkSet(t, one, Partition(16, 0))
+	assertChunkSet(t, three, Partition(16, 0))
+}
+
+// TestFleetFailover: a worker killed mid-sweep loses its remaining chunks
+// to the survivor, and the merged grid stays byte-identical to local.
+func TestFleetFailover(t *testing.T) {
+	b, wire := testGrid()
+	spec := mustSpec(t, "tradeoff")
+	local, err := elect.RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	survivor, victim := newHarness(t), newHarness(t)
+	victim.failAfter.Store(1) // one chunk completes, then the daemon "dies"
+	fleet := newFleet(t, Config{ChunkSize: 2}, survivor, victim)
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	got, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBatch(t, local), encodeBatch(t, got)) {
+		t.Fatal("failover grid differs from local RunMany")
+	}
+	stats := fleet.Stats()
+	if stats.ChunksRetried < 1 {
+		t.Fatalf("no chunk retried despite a dead worker: %+v", stats)
+	}
+	for _, ws := range stats.Workers {
+		switch ws.URL {
+		case NormalizeURL(survivor.ts.URL):
+			if !ws.Alive || ws.Cells < 1 {
+				t.Fatalf("survivor stats %+v", ws)
+			}
+		case NormalizeURL(victim.ts.URL):
+			if ws.Alive {
+				t.Fatalf("victim still marked alive: %+v", ws)
+			}
+		}
+	}
+}
+
+// TestFleetAllDeadFallsBackLocally: when every worker dies mid-sweep the
+// leftover chunks run in-process and the grid still matches local bytes.
+func TestFleetAllDeadFallsBackLocally(t *testing.T) {
+	b, wire := testGrid()
+	spec := mustSpec(t, "tradeoff")
+	local, err := elect.RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	only := newHarness(t)
+	only.failAfter.Store(2)
+	fleet := newFleet(t, Config{ChunkSize: 2}, only)
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	got, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBatch(t, local), encodeBatch(t, got)) {
+		t.Fatal("local-fallback grid differs from local RunMany")
+	}
+	if stats := fleet.Stats(); stats.LocalCells < 1 {
+		t.Fatalf("no cells ran locally: %+v", stats)
+	}
+}
+
+// TestFleetUnreachableFallsBackToRunMany: a configured but entirely dead
+// fleet makes RunMany degrade to plain local execution via ErrNoWorkers.
+func TestFleetUnreachableFallsBackToRunMany(t *testing.T) {
+	dead := newHarness(t)
+	deadURL := dead.ts.URL
+	dead.ts.Close() // nothing listens anymore
+
+	b, wire := testGrid()
+	spec := mustSpec(t, "tradeoff")
+	local, err := elect.RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := New(Config{
+		Workers:       []string{deadURL},
+		ProbeTimeout:  100 * time.Millisecond,
+		ClientOptions: []client.ClientOption{client.WithRetry(1, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct RunGrid reports ErrNoWorkers...
+	if _, err := fleet.Runner(wire).RunGrid(spec, b.Ns, b.Seeds, &b); !errorsIsNoWorkers(err) {
+		t.Fatalf("dead fleet: %v, want ErrNoWorkers", err)
+	}
+	// ...which RunMany turns into a silent local fallback.
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	got, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBatch(t, local), encodeBatch(t, got)) {
+		t.Fatal("fallback grid differs from local RunMany")
+	}
+}
+
+func errorsIsNoWorkers(err error) bool {
+	for e := err; e != nil; {
+		if e == elect.ErrNoWorkers {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// TestFleetCacheReuse: the merger reads and writes the fingerprint cache —
+// a warm sweep dispatches nothing at all.
+func TestFleetCacheReuse(t *testing.T) {
+	b, wire := testGrid()
+	b.Cache = resultcache.New()
+	spec := mustSpec(t, "tradeoff")
+
+	w := newHarness(t)
+	fleet := newFleet(t, Config{ChunkSize: 4}, w)
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	cold, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatched := len(w.served())
+	if dispatched == 0 {
+		t.Fatal("cold sweep dispatched nothing")
+	}
+	warm, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.served()); got != dispatched {
+		t.Fatalf("warm sweep dispatched %d extra chunks", got-dispatched)
+	}
+	if stats := fleet.Stats(); stats.CachedCells != 16 {
+		t.Fatalf("cached cells %d, want 16", stats.CachedCells)
+	}
+	if !bytes.Equal(encodeBatch(t, cold), encodeBatch(t, warm)) {
+		t.Fatal("cache replay differs from dispatched sweep")
+	}
+}
+
+// TestStragglerRedispatch: a chunk stuck on a slow worker is duplicated
+// onto an idle one; the first answer wins and the result is unchanged.
+func TestStragglerRedispatch(t *testing.T) {
+	b, wire := testGrid()
+	b.Ns, b.Seeds = []int{16}, elect.Seeds(1, 2) // one 2-cell chunk
+	spec := mustSpec(t, "tradeoff")
+	local, err := elect.RunMany(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow, fast := newHarness(t), newHarness(t)
+	const stall = 600 * time.Millisecond
+	slow.delay.Store(int64(stall))
+	fleet := newFleet(t, Config{ChunkSize: 2, StragglerAfter: 50 * time.Millisecond}, slow, fast)
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	start := time.Now()
+	got, err := elect.RunMany(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Fatalf("sweep waited out the straggler (%v); re-dispatch did not happen", elapsed)
+	}
+	if !bytes.Equal(encodeBatch(t, local), encodeBatch(t, got)) {
+		t.Fatal("straggler re-dispatch changed the grid")
+	}
+	if stats := fleet.Stats(); stats.ChunksRetried < 1 {
+		t.Fatalf("straggler not counted as retried: %+v", stats)
+	}
+
+	// Regression: the abandoned duplicate must release its in-flight slot
+	// once its request drains, or a reused Fleet slowly loses the worker.
+	// Run a second straggler grid, drain, recover the slow worker, and it
+	// must take chunks again.
+	if _, err := elect.RunMany(spec, remote); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(stall + 100*time.Millisecond) // let the abandoned requests finish
+	slow.delay.Store(0)
+	before := fleet.Stats()
+	var slowBefore int64
+	for _, ws := range before.Workers {
+		if ws.URL == NormalizeURL(slow.ts.URL) {
+			slowBefore = ws.Chunks
+		}
+	}
+	if _, err := elect.RunMany(spec, remote); err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range fleet.Stats().Workers {
+		if ws.URL == NormalizeURL(slow.ts.URL) && ws.Chunks <= slowBefore {
+			t.Fatalf("recovered worker took no chunks (in-flight slots leaked): %+v", ws)
+		}
+	}
+}
+
+// TestFleetCancel: a closed Batch.Cancel aborts the dispatch loop with
+// ErrCanceled, like the local executor.
+func TestFleetCancel(t *testing.T) {
+	b, wire := testGrid()
+	cancel := make(chan struct{})
+	close(cancel)
+	b.Cancel = cancel
+	spec := mustSpec(t, "tradeoff")
+
+	w := newHarness(t)
+	fleet := newFleet(t, Config{}, w)
+	remote := b
+	remote.Remote = fleet.Runner(wire)
+	if _, err := elect.RunMany(spec, remote); err != elect.ErrCanceled {
+		t.Fatalf("canceled fleet sweep: %v, want ErrCanceled", err)
+	}
+}
+
+// TestFleetDefiniteErrorAborts: a configuration the daemon rejects (bad
+// parameters) aborts the grid instead of failing over forever.
+func TestFleetDefiniteErrorAborts(t *testing.T) {
+	k := 1 // invalid for tradeoff
+	b := elect.Batch{Ns: []int{16}, Seeds: elect.Seeds(1, 2),
+		Options: []elect.Option{elect.WithParams(elect.Params{K: 1, D: 2, G: 1, Eps: 1.0 / 16})}}
+	spec := mustSpec(t, "tradeoff")
+	w1, w2 := newHarness(t), newHarness(t)
+	fleet := newFleet(t, Config{}, w1, w2)
+	remote := b
+	remote.Remote = fleet.Runner(client.Options{Params: &client.ParamSpec{K: &k}})
+	if _, err := elect.RunMany(spec, remote); err == nil {
+		t.Fatal("invalid configuration dispatched successfully")
+	}
+	if stats := fleet.Stats(); stats.ChunksRetried != 0 {
+		t.Fatalf("definite error was retried: %+v", stats)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty worker list accepted")
+	}
+	if _, err := New(Config{Workers: []string{"  "}}); err == nil {
+		t.Fatal("blank worker URL accepted")
+	}
+	if got := NormalizeURL(" host:8090/ "); got != "http://host:8090" {
+		t.Fatalf("NormalizeURL = %q", got)
+	}
+	if got := NormalizeURL("https://h"); got != "https://h" {
+		t.Fatalf("NormalizeURL kept scheme: %q", got)
+	}
+}
+
+// Probe must be bounded by ProbeTimeout even against a black-hole address.
+func TestProbeTimeout(t *testing.T) {
+	f, err := New(Config{
+		Workers:       []string{"http://192.0.2.1:1"}, // TEST-NET, never routes
+		ProbeTimeout:  50 * time.Millisecond,
+		ClientOptions: []client.ClientOption{client.WithRetry(1, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if alive := f.Probe(context.Background()); alive != 0 {
+		t.Fatalf("black hole alive: %d", alive)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe took %v", elapsed)
+	}
+}

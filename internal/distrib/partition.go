@@ -1,0 +1,61 @@
+package distrib
+
+// Chunk is one contiguous cell range [Start, Start+Count) of a batch grid,
+// in elect's canonical size-major, seed-minor cell order.
+type Chunk struct {
+	Start, Count int
+}
+
+// End returns the first cell index past the chunk.
+func (c Chunk) End() int { return c.Start + c.Count }
+
+// Partitioning is a pure function of the grid — never of the fleet. The
+// same batch always shards into the same chunks whether 1 or 100 workers
+// are alive, so failover and straggler re-dispatch move whole chunks
+// between workers without ever changing what any request asks for, and a
+// re-dispatched chunk is content-identical to the original (same cells,
+// same fingerprints, free on a warm cache).
+const (
+	// targetChunks is how many chunks a grid is aimed to shard into: enough
+	// granularity that losing a worker forfeits a small slice of the sweep
+	// and stragglers can be re-dispatched piecemeal.
+	targetChunks = 64
+	// maxChunkCells caps chunk size so very large grids still shard finely
+	// enough for load balancing.
+	maxChunkCells = 1024
+)
+
+// DefaultChunkSize returns the chunk size for a grid of total cells:
+// ceil(total/targetChunks), clamped to [1, maxChunkCells]. Pure in total.
+func DefaultChunkSize(total int) int {
+	size := (total + targetChunks - 1) / targetChunks
+	if size < 1 {
+		size = 1
+	}
+	if size > maxChunkCells {
+		size = maxChunkCells
+	}
+	return size
+}
+
+// Partition splits a grid of total cells into contiguous chunks of the
+// given size (the last chunk keeps the remainder). size <= 0 means
+// DefaultChunkSize(total). The result covers [0, total) exactly once, in
+// order.
+func Partition(total, size int) []Chunk {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = DefaultChunkSize(total)
+	}
+	chunks := make([]Chunk, 0, (total+size-1)/size)
+	for start := 0; start < total; start += size {
+		count := size
+		if start+count > total {
+			count = total - start
+		}
+		chunks = append(chunks, Chunk{Start: start, Count: count})
+	}
+	return chunks
+}

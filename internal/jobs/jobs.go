@@ -44,6 +44,11 @@ type Kind string
 const (
 	KindRun   Kind = "run"
 	KindBatch Kind = "batch"
+	// KindChunk is a contiguous cell range of a batch grid, dispatched to
+	// this daemon by a fleet scheduler (see internal/distrib). Chunks run
+	// through the same queue and worker pool as everything else, so
+	// /healthz's queue gauges reflect fleet load too.
+	KindChunk Kind = "chunk"
 )
 
 // Errors returned by Submit*.
@@ -166,6 +171,23 @@ func (m *Manager) SubmitBatch(spec elect.Spec, batch elect.Batch, sopts ...Submi
 	return m.submit(j, sopts)
 }
 
+// SubmitChunk enqueues cells [start, start+count) of the batch's canonical
+// grid (elect.RunRange). Range validation happens at execution; the batch's
+// Cache, OnResult and Cancel fields are owned by the job machinery.
+func (m *Manager) SubmitChunk(spec elect.Spec, batch elect.Batch, start, count int, sopts ...SubmitOption) (*Job, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("jobs: chunk of %d cells", count)
+	}
+	j := newJob(KindChunk, spec, count)
+	j.batch = batch
+	j.start, j.count = start, count
+	return m.submit(j, sopts)
+}
+
+// QueueDepth is the number of accepted jobs not yet picked up by a worker —
+// the back-pressure gauge /healthz exports for fleet schedulers.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
 func (m *Manager) submit(j *Job, sopts []SubmitOption) (*Job, error) {
 	for _, o := range sopts {
 		o(j)
@@ -253,10 +275,11 @@ type Job struct {
 	ID   string
 	Kind Kind
 
-	spec    elect.Spec
-	opts    []elect.Option // KindRun
-	batch   elect.Batch    // KindBatch
-	noCache bool
+	spec         elect.Spec
+	opts         []elect.Option // KindRun
+	batch        elect.Batch    // KindBatch, KindChunk
+	start, count int            // KindChunk cell range
+	noCache      bool
 
 	cancel     chan struct{}
 	cancelOnce sync.Once
@@ -273,6 +296,7 @@ type Job struct {
 	cacheHit bool
 	result   *elect.Result
 	batchRes *elect.BatchResult
+	chunkRes []elect.Result
 	subs     map[int]chan Snapshot
 	nextSub  int
 }
@@ -362,6 +386,14 @@ func (j *Job) BatchResult() (*elect.BatchResult, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.batchRes, j.batchRes != nil
+}
+
+// ChunkResult returns the per-cell outcomes of a Done KindChunk job, in
+// cell order.
+func (j *Job) ChunkResult() ([]elect.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.chunkRes, j.chunkRes != nil
 }
 
 // Cancel requests cancellation: a queued job is canceled immediately (the
@@ -472,7 +504,7 @@ func (j *Job) execute(cache elect.Cache, batchWorkers int) {
 		j.done = 1
 		j.finishLocked(Done, nil)
 
-	case KindBatch:
+	case KindBatch, KindChunk:
 		b := j.batch
 		b.Cache = cache
 		b.Cancel = j.cancel
@@ -488,7 +520,16 @@ func (j *Job) execute(cache elect.Cache, batchWorkers int) {
 			j.notifyLocked()
 			j.mu.Unlock()
 		}
-		out, err := elect.RunMany(j.spec, b)
+		var (
+			batchOut *elect.BatchResult
+			chunkOut []elect.Result
+			err      error
+		)
+		if j.Kind == KindChunk {
+			chunkOut, err = elect.RunRange(j.spec, b, j.start, j.count)
+		} else {
+			batchOut, err = elect.RunMany(j.spec, b)
+		}
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		switch {
@@ -497,7 +538,8 @@ func (j *Job) execute(cache elect.Cache, batchWorkers int) {
 		case err != nil:
 			j.finishLocked(Failed, err)
 		default:
-			j.batchRes = out
+			j.batchRes = batchOut
+			j.chunkRes = chunkOut
 			j.done = j.total
 			j.finishLocked(Done, nil)
 		}

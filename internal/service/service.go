@@ -6,6 +6,8 @@
 //
 //	POST /v1/run       — one election; waits by default, {"async":true} queues
 //	POST /v1/batch     — a multi-size multi-seed sweep; same async contract
+//	POST /v1/chunk     — a cell range of a batch grid, synchronous; the
+//	                     worker-side call of distributed dispatch
 //	GET  /v1/jobs      — list all jobs
 //	GET  /v1/jobs/{id} — job status + result; Accept: text/event-stream
 //	                     switches to SSE progress streaming
@@ -22,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -73,6 +76,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/chunk", s.handleChunk)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -163,6 +167,66 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Result = b
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleChunk executes a cell range of a batch grid synchronously — the
+// worker side of distributed dispatch. Chunks ride the normal job queue and
+// worker pool, so they contend fairly with local jobs and show up in the
+// /healthz load gauges a fleet scheduler balances on.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	var req client.ChunkRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, batch, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validRange(batch, req.Start, req.Count); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var job *jobs.Job
+	if req.NoCache {
+		job, err = s.mgr.SubmitChunk(spec, batch, req.Start, req.Count, jobs.NoCache())
+	} else {
+		job, err = s.mgr.SubmitChunk(spec, batch, req.Start, req.Count)
+	}
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if !s.await(w, r, job) {
+		return
+	}
+	if st := status(job); st.State != string(jobs.Done) {
+		msg := st.Error
+		if msg == "" {
+			msg = "chunk " + st.State
+		}
+		writeError(w, http.StatusUnprocessableEntity, errors.New(msg))
+		return
+	}
+	results, _ := job.ChunkResult()
+	writeJSON(w, http.StatusOK, client.ChunkResponse{Results: results})
+}
+
+// validRange rejects malformed cell ranges before they consume a queue
+// slot. elect.RunRange re-validates at execution.
+func validRange(b elect.Batch, start, count int) error {
+	ns, seeds := len(b.Ns), len(b.Seeds)
+	if ns == 0 {
+		ns = 1
+	}
+	if seeds == 0 {
+		seeds = 1
+	}
+	if start < 0 || count < 1 || start+count > ns*seeds {
+		return fmt.Errorf("cell range [%d, %d) outside the %d-cell grid", start, start+count, ns*seeds)
+	}
+	return nil
 }
 
 func (s *Server) submitRun(spec elect.Spec, opts []elect.Option, noCache bool) (*jobs.Job, error) {
@@ -295,12 +359,20 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	counts := s.mgr.Counts()
+	batchWorkers := s.cfg.BatchWorkers
+	if batchWorkers <= 0 {
+		batchWorkers = runtime.GOMAXPROCS(0)
+	}
 	h := client.Health{
 		OK:            true,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs:          map[string]int{},
+		QueueDepth:    s.mgr.QueueDepth(),
+		ActiveJobs:    counts[jobs.Running],
+		BatchWorkers:  batchWorkers,
 	}
-	for state, n := range s.mgr.Counts() {
+	for state, n := range counts {
 		h.Jobs[string(state)] = n
 	}
 	if s.cfg.Cache != nil {

@@ -277,3 +277,112 @@ func TestQueueFullIs503(t *testing.T) {
 }
 
 func intp(v int) *int { return &v }
+
+// TestChunkEndpoint: POST /v1/chunk computes exactly the requested cell
+// range, byte-identical to a local RunRange, reads through the daemon's
+// cache, and rejects malformed ranges with 400.
+func TestChunkEndpoint(t *testing.T) {
+	cache := resultcache.New()
+	c, _ := newTestDaemon(t, Config{Cache: cache})
+	req := client.ChunkRequest{
+		Spec: "tradeoff", Ns: []int{32, 64}, Seeds: []uint64{1, 2, 3},
+		Start: 1, Count: 4,
+		Options: client.Options{Params: &client.ParamSpec{K: intp(4)}},
+	}
+	resp, err := c.Chunk(ctx(t), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(resp.Results))
+	}
+	spec, _ := elect.Lookup("tradeoff")
+	want, err := elect.RunRange(spec, elect.Batch{
+		Ns: []int{32, 64}, Seeds: []uint64{1, 2, 3},
+		Options: []elect.Option{elect.WithParams(elect.Params{K: 4, D: 2, G: 1, Eps: 1.0 / 16})},
+	}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		wb, _ := elect.EncodeResult(want[i])
+		gb, _ := elect.EncodeResult(resp.Results[i])
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("cell %d differs from local RunRange:\n %s\n %s", i, wb, gb)
+		}
+	}
+	if cache.Stats().Puts != 4 {
+		t.Fatalf("chunk cells not cached: %+v", cache.Stats())
+	}
+	// The same chunk again replays from the cache.
+	if _, err := c.Chunk(ctx(t), req); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Hits < 4 {
+		t.Fatalf("re-dispatched chunk missed the cache: %+v", cache.Stats())
+	}
+
+	// Malformed ranges and bad options are 400, execution failures 422.
+	for _, bad := range []client.ChunkRequest{
+		{Spec: "tradeoff", Ns: []int{32}, Seeds: []uint64{1}, Start: 0, Count: 2},
+		{Spec: "tradeoff", Ns: []int{32}, Seeds: []uint64{1}, Start: -1, Count: 1},
+		{Spec: "tradeoff", Ns: []int{32}, Seeds: []uint64{1}, Start: 0, Count: 0},
+		{Spec: "bogus", Start: 0, Count: 1},
+	} {
+		if _, err := c.Chunk(ctx(t), bad); err == nil {
+			t.Errorf("chunk %+v accepted", bad)
+		} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 400 {
+			t.Errorf("chunk %+v: got %v, want 400", bad, err)
+		}
+	}
+	if _, err := c.Chunk(ctx(t), client.ChunkRequest{
+		Spec: "tradeoff", Ns: []int{32}, Seeds: []uint64{1}, Start: 0, Count: 1,
+		Options: client.Options{Params: &client.ParamSpec{K: intp(1)}},
+	}); err == nil {
+		t.Error("invalid K accepted")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 422 {
+		t.Errorf("invalid K: got %v, want 422", err)
+	}
+}
+
+// TestHealthLoadGauges: /healthz exports the scheduler-facing gauges —
+// batch_workers always, queue_depth/active_jobs tracking load.
+func TestHealthLoadGauges(t *testing.T) {
+	c, _ := newTestDaemon(t, Config{Workers: 1, BatchWorkers: 2})
+	h, err := c.Health(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BatchWorkers != 2 || h.QueueDepth != 0 || h.ActiveJobs != 0 {
+		t.Fatalf("idle gauges %+v", h)
+	}
+	// A blocker on the single worker plus one queued job: active_jobs and
+	// queue_depth must both read ≥ 1 while the blocker runs.
+	blocker, err := c.SubmitBatch(ctx(t), client.BatchRequest{
+		Spec: "tradeoff", Ns: []int{2048}, SeedCount: 64, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx(t), client.RunRequest{Spec: "tradeoff"}); err != nil {
+		t.Fatal(err)
+	}
+	h, err = c.Health(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ActiveJobs < 1 || h.QueueDepth < 1 {
+		// Legitimate only if the blocker already drained.
+		if b, berr := c.Job(ctx(t), blocker.ID); berr != nil || !b.Job.Terminal() {
+			t.Fatalf("loaded gauges %+v (blocker %+v)", h, b)
+		}
+	}
+	if err := c.Cancel(ctx(t), blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Default BatchWorkers reports the effective value, never zero.
+	c2, _ := newTestDaemon(t, Config{})
+	if h, err := c2.Health(ctx(t)); err != nil || h.BatchWorkers < 1 {
+		t.Fatalf("default batch_workers %+v err=%v", h, err)
+	}
+}
