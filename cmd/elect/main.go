@@ -1,5 +1,6 @@
-// Command elect runs one leader-election protocol on one simulated clique
-// and prints the outcome.
+// Command elect runs one leader-election protocol on one simulated network
+// — the clique by default, any generated topology with -topo — and prints
+// the outcome.
 //
 // Usage:
 //
@@ -8,6 +9,8 @@
 //	elect -algo asynctradeoff -n 2048 -k 3 -wake 1 -policy skew
 //	elect -algo asynctradeoff -n 256 -engine live
 //	elect -algo tradeoff -n 1024 -faults drop=0.05,crash=0.1
+//	elect -algo kuttenmoses -n 1024 -topo ring
+//	elect -algo kpprt -n 4096 -topo rreg:d=8
 //	elect -list
 package main
 
@@ -42,6 +45,7 @@ func run(args []string) error {
 		budget   = fs.Int64("budget", 0, "message budget (0 = unlimited)")
 		explicit = fs.Bool("explicit", false, "explicit election: all nodes output the leader ID (sync only)")
 		faults   = fs.String("faults", "", "fault plan, e.g. drop=0.05,crash=0.1,dup=0.01,adaptive=1 (simulators only)")
+		topoSpec = fs.String("topo", "", "topology spec: ring, torus, rreg:d=K, power:m=K, edges:u-v,... (empty = clique)")
 		list     = fs.Bool("list", false, "list algorithms and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +81,9 @@ func run(args []string) error {
 		elect.WithEngine(eng),
 		elect.WithMessageBudget(*budget),
 		elect.WithFaults(plan),
+	}
+	if *topoSpec != "" {
+		opts = append(opts, elect.WithTopology(*topoSpec))
 	}
 	if spec.Model == elect.Async {
 		opts = append(opts, elect.WithDelays(delays))

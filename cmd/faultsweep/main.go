@@ -16,6 +16,7 @@
 //	faultsweep -algo asynctradeoff -drop 0.1 -faults adaptive=1,dup=0.02
 //	faultsweep -algo tradeoff -ns 256 -seeds 50 -cache /tmp/electcache
 //	faultsweep -algo tradeoff -ns 256 -workers host1:8090,host2:8090
+//	faultsweep -algo kpprt -ns 256 -topo ring,torus -drop 0,0.05
 package main
 
 import (
@@ -84,6 +85,7 @@ func run(args []string, w io.Writer) error {
 		workers   = fs.String("workers", "0", "parallel runs (0 = GOMAXPROCS), or a comma-separated electd host list for fleet dispatch")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		cacheDir  = fs.String("cache", "", "persistent result-cache directory; repeated sweeps replay cached runs (adaptive plans always re-execute)")
+		topoFlag  = fs.String("topo", "", "comma-separated topology specs swept as an extra axis, e.g. ring,torus (empty = clique)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -134,8 +136,15 @@ func run(args []string, w io.Writer) error {
 		cache = resultcache.New(resultcache.WithDir(*cacheDir))
 	}
 
-	table := stats.NewTable("algo", "n", "crash", "drop", "success", "mean msgs",
-		"mean time", "crashed", "dropped", "dup'd")
+	topos := splitTopos(*topoFlag)
+	var table *stats.Table
+	if len(topos) > 0 {
+		table = stats.NewTable("algo", "topo", "n", "crash", "drop", "success", "mean msgs",
+			"mean time", "crashed", "dropped", "dup'd")
+	} else {
+		table = stats.NewTable("algo", "n", "crash", "drop", "success", "mean msgs",
+			"mean time", "crashed", "dropped", "dup'd")
+	}
 	cells := 0
 	start := time.Now()
 	for _, spec := range specs {
@@ -155,6 +164,7 @@ func run(args []string, w io.Writer) error {
 				b := elect.Batch{
 					Ns:      ns,
 					Seeds:   elect.Seeds(*seed, *seeds),
+					Topos:   topos,
 					Options: opts,
 					Workers: localWorkers,
 				}
@@ -181,10 +191,17 @@ func run(args []string, w io.Writer) error {
 				}
 				cells += len(batch.Runs)
 				for _, agg := range batch.Aggregates {
-					table.AddRow(spec.Name, agg.N, cr, dr,
-						fmt.Sprintf("%.2f", agg.SuccessRate),
-						agg.Messages.Mean, agg.Time.Mean,
-						agg.MeanCrashed, agg.MeanDropped, agg.MeanDuplicated)
+					if len(topos) > 0 {
+						table.AddRow(spec.Name, agg.Topo, agg.N, cr, dr,
+							fmt.Sprintf("%.2f", agg.SuccessRate),
+							agg.Messages.Mean, agg.Time.Mean,
+							agg.MeanCrashed, agg.MeanDropped, agg.MeanDuplicated)
+					} else {
+						table.AddRow(spec.Name, agg.N, cr, dr,
+							fmt.Sprintf("%.2f", agg.SuccessRate),
+							agg.Messages.Mean, agg.Time.Mean,
+							agg.MeanCrashed, agg.MeanDropped, agg.MeanDuplicated)
+					}
 				}
 			}
 		}
@@ -207,6 +224,26 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "# cache: %d hits (%d from disk), %d misses\n", s.Hits, s.DiskHits, s.Misses)
 	}
 	return nil
+}
+
+// splitTopos parses the -topo flag as in cmd/sweep: a comma-separated list
+// of topology specs, except an explicit edge list ("edges:0-1,1-2,...") uses
+// commas itself and is taken as one spec.
+func splitTopos(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "edges:") {
+		return []string{s}
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // wireFaults renders the cell's fault plan in elect.ParseFaults syntax for

@@ -24,6 +24,7 @@
 //	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -compare BENCH_2026-07-30.json
 //	sweep -algo tradeoff -ns 4096 -seeds 50 -cache /tmp/electcache
 //	sweep -algo tradeoff -ns 4096,8192 -seeds 50 -workers host1:8090,host2:8090
+//	sweep -algo kuttenmoses -topo ring,torus,rreg:d=8 -ns 256,1024,4096
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cliquelect/elect"
@@ -66,6 +68,7 @@ func run(args []string) error {
 		jsonOut  = fs.String("json", "", `also write machine-readable benchmark JSON to this path ("auto" = BENCH_<date>.json)`)
 		compare  = fs.String("compare", "", "diff the new rows against this prior BENCH_*.json and fail on >10% regressions")
 		cacheDir = fs.String("cache", "", "persistent result-cache directory; repeated sweeps replay cached runs")
+		topoFlag = fs.String("topo", "", "comma-separated topology specs swept as an extra axis, e.g. ring,torus,rreg:d=8 (empty = clique)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,8 +104,14 @@ func run(args []string) error {
 	if *cacheDir != "" {
 		cache = resultcache.New(resultcache.WithDir(*cacheDir))
 	}
+	topos := splitTopos(*topoFlag)
 
-	table := stats.NewTable("k", "n", "mean msgs", "std", "mean time", "success")
+	var table *stats.Table
+	if len(topos) > 0 {
+		table = stats.NewTable("topo", "k", "n", "mean msgs", "std", "mean time", "success")
+	} else {
+		table = stats.NewTable("k", "n", "mean msgs", "std", "mean time", "success")
+	}
 	bench := benchFile{
 		Date: time.Now().UTC().Format("2006-01-02"), Algo: *algo, Seeds: *seeds,
 	}
@@ -119,6 +128,7 @@ func run(args []string) error {
 		b := elect.Batch{
 			Ns:      ns,
 			Seeds:   elect.Seeds(*seed+uint64(k)*104729, *seeds),
+			Topos:   topos,
 			Options: opts,
 			Workers: localWorkers,
 		}
@@ -143,22 +153,41 @@ func run(args []string) error {
 			return err
 		}
 		cells += len(batch.Runs)
-		var xs, ys []float64
+		// One power fit per topology group (the clique-only sweep is the
+		// single group with the empty label).
+		fitXs := map[string][]float64{}
+		fitYs := map[string][]float64{}
+		var fitOrder []string
 		for _, agg := range batch.Aggregates {
-			xs = append(xs, float64(agg.N))
-			ys = append(ys, agg.Messages.Mean)
-			table.AddRow(k, agg.N, agg.Messages.Mean, agg.Messages.Std, agg.Time.Mean,
-				fmt.Sprintf("%d/%d", agg.Successes, agg.Runs))
+			if _, seen := fitXs[agg.Topo]; !seen {
+				fitOrder = append(fitOrder, agg.Topo)
+			}
+			fitXs[agg.Topo] = append(fitXs[agg.Topo], float64(agg.N))
+			fitYs[agg.Topo] = append(fitYs[agg.Topo], agg.Messages.Mean)
+			success := fmt.Sprintf("%d/%d", agg.Successes, agg.Runs)
+			if len(topos) > 0 {
+				table.AddRow(agg.Topo, k, agg.N, agg.Messages.Mean, agg.Messages.Std, agg.Time.Mean, success)
+			} else {
+				table.AddRow(k, agg.N, agg.Messages.Mean, agg.Messages.Std, agg.Time.Mean, success)
+			}
 			bench.Rows = append(bench.Rows, benchRow{
-				Algo: *algo, K: k, N: agg.N,
+				Algo: *algo, Topo: agg.Topo, K: k, N: agg.N,
 				MeanMsgs: agg.Messages.Mean, StdMsgs: agg.Messages.Std,
 				MeanTime: agg.Time.Mean, SuccessRate: agg.SuccessRate,
 			})
 		}
 		if len(ns) >= 2 {
-			if fit, err := stats.FitPower(xs, ys); err == nil {
-				fmt.Printf("# k=%d: %s\n", k, fit)
-				bench.Fits = append(bench.Fits, benchFit{K: k, Fit: fit.String()})
+			for _, topoName := range fitOrder {
+				fit, err := stats.FitPower(fitXs[topoName], fitYs[topoName])
+				if err != nil {
+					continue
+				}
+				if topoName != "" {
+					fmt.Printf("# k=%d topo=%s: %s\n", k, topoName, fit)
+				} else {
+					fmt.Printf("# k=%d: %s\n", k, fit)
+				}
+				bench.Fits = append(bench.Fits, benchFit{K: k, Topo: topoName, Fit: fit.String()})
 			}
 		}
 	}
@@ -215,21 +244,25 @@ func compareBench(path string, fresh benchFile) error {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
 	type rowKey struct {
-		algo string
-		k, n int
+		algo, topo string
+		k, n       int
 	}
 	old := make(map[rowKey]benchRow, len(prior.Rows))
 	for _, r := range prior.Rows {
-		old[rowKey{r.Algo, r.K, r.N}] = r
+		old[rowKey{r.Algo, r.Topo, r.K, r.N}] = r
 	}
 	matched, regressions := 0, 0
 	flag := func(r benchRow, metric string, was, is float64) {
 		regressions++
+		label := r.Algo
+		if r.Topo != "" {
+			label += " topo=" + r.Topo
+		}
 		fmt.Printf("# REGRESSION %s k=%d n=%d %s: %.4g -> %.4g (%+.1f%%)\n",
-			r.Algo, r.K, r.N, metric, was, is, 100*(is-was)/was)
+			label, r.K, r.N, metric, was, is, 100*(is-was)/was)
 	}
 	for _, r := range fresh.Rows {
-		o, ok := old[rowKey{r.Algo, r.K, r.N}]
+		o, ok := old[rowKey{r.Algo, r.Topo, r.K, r.N}]
 		if !ok {
 			continue
 		}
@@ -269,6 +302,7 @@ type benchFile struct {
 
 type benchRow struct {
 	Algo        string  `json:"algo"`
+	Topo        string  `json:"topo,omitempty"`
 	K           int     `json:"k"`
 	N           int     `json:"n"`
 	MeanMsgs    float64 `json:"mean_msgs"`
@@ -278,8 +312,29 @@ type benchRow struct {
 }
 
 type benchFit struct {
-	K   int    `json:"k"`
-	Fit string `json:"fit"`
+	K    int    `json:"k"`
+	Topo string `json:"topo,omitempty"`
+	Fit  string `json:"fit"`
+}
+
+// splitTopos parses the -topo flag: a comma-separated list of topology
+// specs, except that an explicit edge list ("edges:0-1,1-2,...") uses commas
+// itself and is taken as one spec.
+func splitTopos(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "edges:") {
+		return []string{s}
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func writeBenchJSON(path string, bench benchFile) error {

@@ -22,13 +22,13 @@ var ErrNoWorkers = errors.New("elect: no remote workers available")
 // RemoteRunner executes a whole batch grid somewhere other than this
 // process; internal/distrib implements it over a fleet of electd workers.
 // RunGrid receives the defaulted grid axes plus the batch (for Options,
-// Cache, OnResult and Cancel) and must return one Result per cell in the
-// canonical size-major, seed-minor order — each byte-identical on the wire
-// codec to what a local Run of that (n, seed) cell would produce, which the
-// determinism contract guarantees whatever machine computed it. Returning
-// ErrNoWorkers makes RunMany fall back to local execution; a closed
-// Batch.Cancel must surface as ErrCanceled; any other error aborts the
-// batch.
+// Topos, Cache, OnResult and Cancel) and must return one Result per cell in
+// the canonical topo-major, size-major, seed-minor order — each
+// byte-identical on the wire codec to what a local Run of that
+// (topo, n, seed) cell would produce, which the determinism contract
+// guarantees whatever machine computed it. Returning ErrNoWorkers makes
+// RunMany fall back to local execution; a closed Batch.Cancel must surface
+// as ErrCanceled; any other error aborts the batch.
 type RemoteRunner interface {
 	RunGrid(spec Spec, ns []int, seeds []uint64, b *Batch) ([]Result, error)
 }
@@ -43,13 +43,17 @@ func Seeds(base uint64, count int) []uint64 {
 	return out
 }
 
-// Batch describes a fan-out of one spec across network sizes and seeds.
-// Every (n, seed) pair becomes one independent Run.
+// Batch describes a fan-out of one spec across topologies, network sizes
+// and seeds. Every (topo, n, seed) cell becomes one independent Run.
 type Batch struct {
 	// Ns lists the network sizes to sweep; empty means {64}.
 	Ns []int
 	// Seeds lists the seeds run at every size; empty means {1}.
 	Seeds []uint64
+	// Topos lists topology specs (see WithTopology) swept as the outermost
+	// grid axis; empty means the single default clique, which keeps the grid
+	// — and every fingerprint in it — identical to a pre-topology batch.
+	Topos []string
 	// Options is the shared configuration applied to every run (parameters,
 	// wake policy, delays, engine, budget). WithN and WithSeed values set
 	// here are overridden by the batch's own Ns and Seeds.
@@ -94,9 +98,13 @@ func newSummary(xs []float64) Summary {
 	return Summary{Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max, Median: s.Median}
 }
 
-// Aggregate summarizes all runs of one network size.
+// Aggregate summarizes all runs of one (topology, network size) pair.
 type Aggregate struct {
-	N int `json:"n"`
+	// Topo is the canonical topology spec of the aggregated cells; empty on
+	// the default clique (so clique-only batches serialize exactly as before
+	// the topology axis existed).
+	Topo string `json:"topo,omitempty"`
+	N    int    `json:"n"`
 	// Runs is the number of seeds executed at this size.
 	Runs int `json:"runs"`
 	// Successes counts runs that elected a valid unique leader (OK; under
@@ -120,10 +128,13 @@ type Aggregate struct {
 // BatchResult is the outcome of one RunMany. Like Result, its json tags are
 // the stable v1 wire form (see EncodeBatchResult).
 type BatchResult struct {
-	// Runs holds every per-seed Result in deterministic order: size-major,
-	// seed-minor (Runs[i*len(Seeds)+j] is size Ns[i] with seed Seeds[j]).
+	// Runs holds every per-cell Result in deterministic order: topo-major,
+	// size-major, seed-minor (Runs[(t*len(Ns)+i)*len(Seeds)+j] is topology
+	// Topos[t] at size Ns[i] with seed Seeds[j]; without Topos the topology
+	// axis has one implicit clique entry and the order is the historical
+	// size-major, seed-minor one).
 	Runs []Result `json:"runs"`
-	// Aggregates holds one Aggregate per size, in Ns order.
+	// Aggregates holds one Aggregate per (topo, size), in grid order.
 	Aggregates []Aggregate `json:"aggregates"`
 }
 
@@ -144,55 +155,83 @@ type BatchResult struct {
 // on this, and TestRunManyParallelMatchesSerial asserts it). The first run
 // error aborts the batch.
 func RunMany(spec Spec, b Batch) (*BatchResult, error) {
-	ns := b.Ns
-	if len(ns) == 0 {
-		ns = []int{64}
-	}
-	seeds := b.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{1}
-	}
+	ns, seeds := defaultAxes(b.Ns, b.Seeds)
+	total := GridSize(ns, seeds, b.Topos)
 	if b.Remote != nil {
 		runs, err := b.Remote.RunGrid(spec, ns, seeds, &b)
 		switch {
 		case err == nil:
-			if len(runs) != len(ns)*len(seeds) {
+			if len(runs) != total {
 				return nil, fmt.Errorf("elect: remote runner returned %d results for a %d-cell grid",
-					len(runs), len(ns)*len(seeds))
+					len(runs), total)
 			}
-			return assembleBatch(ns, seeds, runs), nil
+			return assembleBatch(ns, seeds, b.Topos, runs), nil
 		case !errors.Is(err, ErrNoWorkers):
 			return nil, err
 		}
 		// No fleet reachable: degrade to local execution.
 	}
-	runs, err := runCells(spec, b, ns, seeds, 0, len(ns)*len(seeds))
+	runs, err := runCells(spec, b, ns, seeds, 0, total)
 	if err != nil {
 		return nil, err
 	}
-	return assembleBatch(ns, seeds, runs), nil
+	return assembleBatch(ns, seeds, b.Topos, runs), nil
 }
 
-// RunRange executes the contiguous cell range [start, start+count) of the
-// batch's canonical grid — the same size-major, seed-minor order RunMany
-// uses — and returns the per-cell Results in range order. It is the
-// worker-side half of distributed dispatch: a fleet scheduler partitions
-// the grid into ranges, each electd worker executes its ranges with
-// RunRange, and the merged grid is byte-identical to one local RunMany
-// because every cell is a pure function of its own (n, seed). Workers,
-// Cache, OnResult and Cancel are honored as in RunMany (OnResult's
-// done/total are relative to the range); Remote is ignored — ranges always
-// execute locally.
-func RunRange(spec Spec, b Batch, start, count int) ([]Result, error) {
-	ns := b.Ns
+// defaultAxes applies the Batch axis defaults: {64} sizes, {1} seeds.
+func defaultAxes(ns []int, seeds []uint64) ([]int, []uint64) {
 	if len(ns) == 0 {
 		ns = []int{64}
 	}
-	seeds := b.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	total := len(ns) * len(seeds)
+	return ns, seeds
+}
+
+// GridSize returns the number of cells in the canonical batch grid over the
+// given (already defaulted) axes: len(topos)·len(ns)·len(seeds), with an
+// empty topos axis counting as the single implicit clique. Distributed
+// dispatch (internal/distrib, electd's range validation) sizes its
+// partitions with this.
+func GridSize(ns []int, seeds []uint64, topos []string) int {
+	t := len(topos)
+	if t == 0 {
+		t = 1
+	}
+	return t * len(ns) * len(seeds)
+}
+
+// CellOptions returns the Run options for cell idx of the batch's canonical
+// topo-major, size-major, seed-minor grid over the (already defaulted) ns
+// and seeds axes: the batch's shared Options followed by the cell's WithN,
+// WithSeed and — only when the batch sweeps topologies — WithTopology. It
+// is exported so remote executors (internal/distrib) reproduce exactly the
+// cells a local RunMany would run.
+func CellOptions(b *Batch, ns []int, seeds []uint64, idx int) []Option {
+	inner := len(ns) * len(seeds)
+	opts := make([]Option, 0, len(b.Options)+3)
+	opts = append(opts, b.Options...)
+	opts = append(opts, WithN(ns[idx%inner/len(seeds)]), WithSeed(seeds[idx%len(seeds)]))
+	if len(b.Topos) > 0 {
+		opts = append(opts, WithTopology(b.Topos[idx/inner]))
+	}
+	return opts
+}
+
+// RunRange executes the contiguous cell range [start, start+count) of the
+// batch's canonical grid — the same topo-major, size-major, seed-minor
+// order RunMany uses — and returns the per-cell Results in range order. It
+// is the worker-side half of distributed dispatch: a fleet scheduler
+// partitions the grid into ranges, each electd worker executes its ranges
+// with RunRange, and the merged grid is byte-identical to one local RunMany
+// because every cell is a pure function of its own (topo, n, seed).
+// Workers, Cache, OnResult and Cancel are honored as in RunMany (OnResult's
+// done/total are relative to the range); Remote is ignored — ranges always
+// execute locally.
+func RunRange(spec Spec, b Batch, start, count int) ([]Result, error) {
+	ns, seeds := defaultAxes(b.Ns, b.Seeds)
+	total := GridSize(ns, seeds, b.Topos)
 	if start < 0 || count < 1 || start+count > total {
 		return nil, fmt.Errorf("elect: cell range [%d, %d) outside the %d-cell grid",
 			start, start+count, total)
@@ -215,11 +254,7 @@ func runCells(spec Spec, b Batch, ns []int, seeds []uint64, start, count int) ([
 	runs := make([]Result, count)
 	errs := make([]error, count)
 	runCell := func(i int) {
-		idx := start + i
-		opts := make([]Option, 0, len(b.Options)+2)
-		opts = append(opts, b.Options...)
-		opts = append(opts, WithN(ns[idx/len(seeds)]), WithSeed(seeds[idx%len(seeds)]))
-		runs[i], _, errs[i] = RunCached(b.Cache, spec, opts...)
+		runs[i], _, errs[i] = RunCached(b.Cache, spec, CellOptions(&b, ns, seeds, start+i)...)
 	}
 	canceled := func() bool {
 		select {
@@ -253,6 +288,11 @@ func runCells(spec Spec, b Batch, ns []int, seeds []uint64, start, count int) ([
 	for i, err := range errs {
 		if err != nil {
 			idx := start + i
+			inner := len(ns) * len(seeds)
+			if len(b.Topos) > 0 {
+				return nil, fmt.Errorf("elect: run topo=%q n=%d seed=%d: %w",
+					b.Topos[idx/inner], ns[idx%inner/len(seeds)], seeds[idx%len(seeds)], err)
+			}
 			return nil, fmt.Errorf("elect: run n=%d seed=%d: %w",
 				ns[idx/len(seeds)], seeds[idx%len(seeds)], err)
 		}
@@ -305,15 +345,25 @@ func runSharded(total, workers int, runCell func(int), canceled func() bool, onR
 	return int(completed.Load())
 }
 
-// assembleBatch computes the per-size aggregates over the completed grid.
-func assembleBatch(ns []int, seeds []uint64, runs []Result) *BatchResult {
-	out := &BatchResult{Runs: runs, Aggregates: make([]Aggregate, 0, len(ns))}
-	for i, n := range ns {
-		agg := Aggregate{N: n, Runs: len(seeds)}
+// assembleBatch computes the per-(topo, size) aggregates over the completed
+// grid.
+func assembleBatch(ns []int, seeds []uint64, topos []string, runs []Result) *BatchResult {
+	tcount := len(topos)
+	if tcount == 0 {
+		tcount = 1
+	}
+	out := &BatchResult{Runs: runs, Aggregates: make([]Aggregate, 0, tcount*len(ns))}
+	for g := 0; g < tcount*len(ns); g++ {
+		n := ns[g%len(ns)]
+		base := g * len(seeds)
+		// Topo comes from the first run of the group: Run stores the canonical
+		// spec there ("" on the clique), so the aggregate label is normalized
+		// whatever alias the batch used.
+		agg := Aggregate{Topo: runs[base].Topo, N: n, Runs: len(seeds)}
 		msgs := make([]float64, 0, len(seeds))
 		times := make([]float64, 0, len(seeds))
 		for j := range seeds {
-			r := runs[i*len(seeds)+j]
+			r := runs[base+j]
 			if r.OK {
 				agg.Successes++
 			}

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+
+	"cliquelect/internal/topo"
 )
 
 // Cache is the byte-level store consulted by RunCached and Batch.Cache:
@@ -43,6 +45,10 @@ type fingerprintPayload struct {
 	Explicit  bool         `json:"explicit"`
 	Trace     bool         `json:"trace"`
 	Faults    faultsKey    `json:"faults"`
+	// Topo is the canonical topology spec; the clique canonicalizes to ""
+	// and is omitted, so every clique key's preimage is byte-identical to
+	// the pre-topology key space (pinned by TestFingerprintGolden).
+	Topo string `json:"topo,omitempty"`
 }
 
 // faultsKey is FaultPlan minus NewAdversary, which has no canonical
@@ -86,6 +92,10 @@ func (c *runConfig) fingerprint(spec Spec) (string, error) {
 	if c.faults.NewAdversary != nil {
 		return "", fmt.Errorf("elect: fault plans with a NewAdversary factory have no canonical encoding and no fingerprint")
 	}
+	topoCanon, err := topo.Canonical(c.topo)
+	if err != nil {
+		return "", err
+	}
 	payload := fingerprintPayload{
 		Version:   fingerprintVersion,
 		Spec:      spec.Name,
@@ -108,6 +118,7 @@ func (c *runConfig) fingerprint(spec Spec) (string, error) {
 			DropFirst:   c.faults.DropFirst,
 			DupRate:     c.faults.DupRate,
 		},
+		Topo: topoCanon,
 	}
 	data, err := json.Marshal(payload)
 	if err != nil {

@@ -21,7 +21,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"cliquelect/internal/xrand"
 )
 
 // Client talks to one electd base URL. The zero value is not usable;
@@ -33,14 +36,23 @@ type Client struct {
 	// retry policy for transient failures (see WithRetry).
 	retryAttempts int
 	retryBase     time.Duration
+	jitterSeed    uint64
+	jitterCalls   atomic.Uint64
 }
 
 // Retry defaults: every request is tried up to 3 times, backing off
 // exponentially from 100ms and never sleeping longer than 2s between tries.
+// Each sleep is jittered by ±20% (RetryJitter) so a fleet of clients
+// retrying against the same restarted daemon spreads out instead of
+// hammering it in lockstep.
 const (
 	DefaultRetryAttempts = 3
 	DefaultRetryBase     = 100 * time.Millisecond
 	maxRetryBackoff      = 2 * time.Second
+	// RetryJitter is the relative half-width of the backoff jitter window:
+	// every sleep is scaled by a seeded uniform factor in [1-RetryJitter,
+	// 1+RetryJitter].
+	RetryJitter = 0.20
 )
 
 // ClientOption configures New.
@@ -67,6 +79,14 @@ func WithRetry(attempts int, base time.Duration) ClientOption {
 	}
 }
 
+// WithRetryJitterSeed pins the seed of the backoff jitter stream, making
+// retry delays reproducible (tests; debugging a fleet schedule). Clients
+// default to a seed derived from the base URL, so distinct workers jitter
+// differently but a given client is deterministic.
+func WithRetryJitterSeed(seed uint64) ClientOption {
+	return func(c *Client) { c.jitterSeed = seed }
+}
+
 // New builds a client for the daemon at base, e.g. "http://localhost:8090".
 func New(base string, opts ...ClientOption) *Client {
 	c := &Client{
@@ -75,6 +95,14 @@ func New(base string, opts ...ClientOption) *Client {
 		retryAttempts: DefaultRetryAttempts,
 		retryBase:     DefaultRetryBase,
 	}
+	// FNV-1a over the base URL: a stable per-worker jitter seed, so two
+	// clients of the same daemon sleep alike across runs but clients of
+	// different workers decorrelate.
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(c.base); i++ {
+		seed = (seed ^ uint64(c.base[i])) * 1099511628211
+	}
+	c.jitterSeed = seed
 	for _, o := range opts {
 		o(c)
 	}
@@ -250,9 +278,9 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*Jo
 
 // do performs one JSON round trip, retrying transient failures —
 // connection-level errors and 502/503/504 answers (a restarting or
-// momentarily saturated daemon) — with capped exponential backoff. Definite
-// answers (2xx, 4xx, 422, …) are never retried, and a canceled context
-// aborts the loop immediately.
+// momentarily saturated daemon) — with capped, ±20%-jittered exponential
+// backoff. Definite answers (2xx, 4xx, 422, …) are never retried, and a
+// canceled context aborts the loop immediately.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var data []byte
 	if in != nil {
@@ -262,13 +290,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	var lastErr error
+	var jitter *xrand.RNG
 	backoff := c.retryBase
 	for attempt := 0; attempt < c.retryAttempts; attempt++ {
 		if attempt > 0 {
+			if jitter == nil {
+				// One jitter stream per request that actually retries, advanced
+				// by a client-wide counter so concurrent requests decorrelate.
+				jitter = xrand.New(c.jitterSeed + c.jitterCalls.Add(1))
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(jitterDelay(backoff, jitter)):
 			}
 			backoff = min(2*backoff, maxRetryBackoff)
 		}
@@ -309,6 +343,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return lastErr
+}
+
+// jitterDelay scales one backoff sleep by a uniform factor in
+// [1-RetryJitter, 1+RetryJitter], capped at maxRetryBackoff: lockstep
+// clients spread out while every delay stays within 20% of the nominal
+// schedule (and under the cap), so retry budgets remain predictable.
+func jitterDelay(backoff time.Duration, rng *xrand.RNG) time.Duration {
+	factor := 1 - RetryJitter + 2*RetryJitter*rng.Float64()
+	return min(time.Duration(float64(backoff)*factor), maxRetryBackoff)
 }
 
 // TransientStatus reports daemon answers worth repeating against the same

@@ -76,6 +76,10 @@ type Options struct {
 	// "drop=0.1,crash=0.05". Plans with "adaptive=N" are uncacheable and
 	// bypass the result cache.
 	Faults string `json:"faults,omitempty"`
+	// Topo is a topology spec in elect.WithTopology syntax, e.g. "ring" or
+	// "rreg:d=8"; empty means the default clique. Batches sweeping several
+	// topologies use the request's Topos axis instead.
+	Topo string `json:"topo,omitempty"`
 	// NoCache bypasses the daemon's result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
 }
@@ -126,6 +130,9 @@ func (o Options) resolve(model elect.Model) ([]elect.Option, error) {
 		}
 		opts = append(opts, elect.WithFaults(plan))
 	}
+	if o.Topo != "" {
+		opts = append(opts, elect.WithTopology(o.Topo))
+	}
 	return opts, nil
 }
 
@@ -172,6 +179,9 @@ type BatchRequest struct {
 	Seeds     []uint64 `json:"seeds,omitempty"`
 	SeedBase  uint64   `json:"seed_base,omitempty"`
 	SeedCount int      `json:"seed_count,omitempty"`
+	// Topos lists topology specs swept as the outermost grid axis; empty
+	// means the single default clique (or Options.Topo when set).
+	Topos []string `json:"topos,omitempty"`
 	// Workers bounds the per-job worker pool; 0 means GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
 	Options
@@ -200,22 +210,25 @@ func (r BatchRequest) Resolve() (elect.Spec, elect.Batch, error) {
 		seeds = elect.Seeds(r.SeedBase, r.SeedCount)
 	}
 	return spec, elect.Batch{
-		Ns: r.Ns, Seeds: seeds, Options: opts, Workers: r.Workers,
+		Ns: r.Ns, Seeds: seeds, Topos: r.Topos, Options: opts, Workers: r.Workers,
 	}, nil
 }
 
 // ChunkRequest is the body of POST /v1/chunk: a contiguous cell range of a
 // batch grid, executed synchronously. It is the worker-side wire form of
-// distributed dispatch (internal/distrib shards a grid into these): Ns and
-// Seeds describe the FULL grid in canonical size-major, seed-minor order,
-// and Start/Count select the cells this worker computes — so every worker
-// sees the same grid and cell indexing, whatever subset it is handed.
+// distributed dispatch (internal/distrib shards a grid into these): Ns,
+// Seeds and Topos describe the FULL grid in canonical topo-major,
+// size-major, seed-minor order, and Start/Count select the cells this
+// worker computes — so every worker sees the same grid and cell indexing,
+// whatever subset it is handed.
 type ChunkRequest struct {
 	Spec string `json:"spec"`
 	// Ns and Seeds are the full grid axes; empty means {64} and {1} as in
-	// BatchRequest (the scheduler normally sends both explicitly).
+	// BatchRequest (the scheduler normally sends both explicitly). Topos is
+	// the outermost axis; empty means the single default clique.
 	Ns    []int    `json:"ns,omitempty"`
 	Seeds []uint64 `json:"seeds,omitempty"`
+	Topos []string `json:"topos,omitempty"`
 	// Start/Count select cells [start, start+count) of the grid.
 	Start int `json:"start"`
 	Count int `json:"count"`
@@ -236,7 +249,7 @@ func (r ChunkRequest) Resolve() (elect.Spec, elect.Batch, error) {
 		return elect.Spec{}, elect.Batch{}, err
 	}
 	return spec, elect.Batch{
-		Ns: r.Ns, Seeds: r.Seeds, Options: opts, Workers: r.Workers,
+		Ns: r.Ns, Seeds: r.Seeds, Topos: r.Topos, Options: opts, Workers: r.Workers,
 	}, nil
 }
 
@@ -308,6 +321,9 @@ type SpecInfo struct {
 	SmallIDSpace  bool     `json:"small_id_space"`
 	Deterministic bool     `json:"deterministic"`
 	FaultTolerant bool     `json:"fault_tolerant"`
+	// Topologies lists the non-clique topology families the spec supports
+	// (elect.Spec.Topologies); empty means clique-only.
+	Topologies []string `json:"topologies,omitempty"`
 }
 
 // SpecsResponse is the body of GET /v1/specs.

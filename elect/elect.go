@@ -118,6 +118,12 @@ type Spec struct {
 	// wedging or panicking. Informational: Run does not enforce it, but
 	// cmd/faultsweep's "all" selector sweeps exactly these specs.
 	FaultTolerant bool
+	// Topologies lists the non-clique topology families (internal/topo
+	// generator names: "ring", "torus", "rreg", "power", "edges") the
+	// protocol is correct on. Every spec runs on the clique; nil means
+	// clique-only — the paper's protocols assume the complete graph and
+	// Run rejects WithTopology for them.
+	Topologies []string
 
 	buildSync  func(p Params) (simsync.Factory, error)
 	buildAsync func(n int, p Params) (simasync.Factory, error)
@@ -129,6 +135,20 @@ func (s Spec) Engines() []Engine {
 		return []Engine{EngineSync}
 	}
 	return []Engine{EngineAsync, EngineLive}
+}
+
+// SupportsTopology reports whether the spec can run over the given topology
+// family; "" (the clique) is supported by every spec.
+func (s Spec) SupportsTopology(family string) bool {
+	if family == "" {
+		return true
+	}
+	for _, f := range s.Topologies {
+		if f == family {
+			return true
+		}
+	}
+	return false
 }
 
 // Supports reports whether the spec can run on the given engine.
@@ -226,6 +246,25 @@ var registry = []Spec{
 				return nil, err
 			}
 			return core.NewSpreadElect(p.K), nil
+		},
+	},
+	{
+		// Not FaultTolerant: a dropped Echo leaves its wave's convergecast
+		// pending forever, so faulted runs wedge until the round cap.
+		Name: "kuttenmoses", Model: Sync, Paper: "Kutten-Moses Jr.-Pandurangan-Peleg (arXiv 2008.02782) profile",
+		Deterministic: true,
+		Topologies:    []string{"ring", "torus", "rreg", "power", "edges"},
+		Description:   "general-graph extinction election: O(D) rounds, O(m log n) expected msgs",
+		buildSync: func(Params) (simsync.Factory, error) {
+			return core.NewKuttenMoses(), nil
+		},
+	},
+	{
+		Name: "kpprt", FaultTolerant: true, Model: Sync, Paper: "KPPRT (arXiv 1210.4822) generalized",
+		Topologies:  []string{"ring", "torus", "rreg", "power", "edges"},
+		Description: "sampled-candidacy election: 2 rounds on the clique, 2D+2 rounds and O(m log log n) msgs on graphs, Monte Carlo",
+		buildSync: func(Params) (simsync.Factory, error) {
+			return core.NewKPPRT(), nil
 		},
 	},
 	{

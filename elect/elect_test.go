@@ -24,7 +24,7 @@ func TestLookupAllRegistered(t *testing.T) {
 	if _, err := Lookup("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(Registry()) != 10 {
+	if len(Registry()) != 12 {
 		t.Fatalf("registry has %d entries", len(Registry()))
 	}
 }
@@ -45,6 +45,8 @@ func TestRegistryGolden(t *testing.T) {
 		{"sublinear", Sync, false, false},
 		{"advwake", Sync, false, false},
 		{"spreadelect", Sync, false, false},
+		{"kuttenmoses", Sync, true, false},
+		{"kpprt", Sync, false, false},
 		{"asynctradeoff", Async, false, false},
 		{"asyncafekgafni", Async, true, false},
 		{"asynclinear", Async, false, false},

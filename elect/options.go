@@ -68,6 +68,7 @@ type runConfig struct {
 	trace     bool
 	budget    int64
 	explicit  bool
+	topo      string
 }
 
 // defaultRunConfig is the option baseline shared by Run, Fingerprint and
@@ -149,3 +150,13 @@ func WithMessageBudget(messages int64) Option {
 // transformation (every node outputs the leader's ID; +1 round, +n-1
 // messages). It is an error on asynchronous specs.
 func WithExplicit() Option { return func(c *runConfig) { c.explicit = true } }
+
+// WithTopology runs the protocol over an explicit graph topology instead of
+// the default clique. The spec string names a generator family and its
+// parameters — "ring", "torus", "rreg:d=8", "power:m=4",
+// "edges:0-1,1-2,..." — see internal/topo for the grammar; "" and "clique"
+// mean the default clique wiring. Seeded generators derive the graph
+// deterministically from the run seed. It is an error to name a topology the
+// spec does not support (Spec.Topologies) or to combine a non-clique
+// topology with the live engine.
+func WithTopology(spec string) Option { return func(c *runConfig) { c.topo = spec } }

@@ -10,6 +10,7 @@ import (
 	"cliquelect/internal/proto"
 	"cliquelect/internal/simasync"
 	"cliquelect/internal/simsync"
+	"cliquelect/internal/topo"
 	"cliquelect/internal/trace"
 	"cliquelect/internal/xrand"
 )
@@ -107,6 +108,14 @@ type Result struct {
 	OK bool `json:"ok"`
 	// Trace is the communication-graph summary when WithTrace was set.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Topo is the canonical topology spec of a WithTopology run; empty for
+	// the default clique (all three topology fields are omitted then, so
+	// clique wire encodings are unchanged).
+	Topo string `json:"topo,omitempty"`
+	// Diameter is the topology's diameter estimate (double-sweep BFS).
+	Diameter int `json:"diameter,omitempty"`
+	// GraphEdges is the topology's undirected edge count m.
+	GraphEdges int64 `json:"graph_edges,omitempty"`
 }
 
 // String renders a human-readable one-line-per-field summary.
@@ -114,6 +123,9 @@ func (r Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "algorithm : %s (%s model, %s engine)\n", r.Algorithm, r.Model, r.Engine)
 	fmt.Fprintf(&b, "nodes     : %d\n", r.N)
+	if r.Topo != "" {
+		fmt.Fprintf(&b, "topology  : %s (diameter %d, %d edges)\n", r.Topo, r.Diameter, r.GraphEdges)
+	}
 	if r.Leader >= 0 {
 		fmt.Fprintf(&b, "leader    : node %d (ID %d)\n", r.Leader, r.LeaderID)
 	} else {
@@ -175,6 +187,22 @@ func Run(spec Spec, opts ...Option) (Result, error) {
 	if !cfg.faults.IsZero() && engine == EngineLive {
 		return res, fmt.Errorf("elect: WithFaults requires a deterministic simulator (got %s engine)", engine)
 	}
+	topoCanon, err := topo.Canonical(cfg.topo)
+	if err != nil {
+		return res, err
+	}
+	cfg.topo = topoCanon
+	if topoCanon != "" {
+		if engine == EngineLive {
+			return res, fmt.Errorf("elect: WithTopology requires a deterministic simulator (got %s engine)", engine)
+		}
+		family, _ := topo.Family(topoCanon)
+		if !spec.SupportsTopology(family) {
+			return res, fmt.Errorf("elect: %s runs on the clique only (topologies: %s)",
+				spec.Name, strings.Join(append([]string{"clique"}, spec.Topologies...), ", "))
+		}
+		res.Topo = topoCanon
+	}
 
 	rng := xrand.New(cfg.seed)
 	assign, err := makeIDs(spec, cfg, rng)
@@ -222,6 +250,23 @@ func makeIDs(spec Spec, cfg runConfig, rng *xrand.RNG) (ids.Assignment, error) {
 	return ids.Random(universe, cfg.n, rng), nil
 }
 
+// buildTopo constructs the run's explicit topology (nil for the clique) and
+// records its shape on the result. Seeded generators draw their graph seed
+// from rng — after the wake set, before the engine seed — so clique runs
+// consume no extra randomness and stay byte-identical to pre-topology runs.
+func buildTopo(cfg runConfig, rng *xrand.RNG, res *Result) (topo.Topology, error) {
+	if cfg.topo == "" {
+		return nil, nil
+	}
+	graph, err := topo.Build(cfg.topo, cfg.n, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	res.Diameter = graph.Diameter()
+	res.GraphEdges = graph.M()
+	return graph, nil
+}
+
 // wakeNodes resolves the adversarial wake set, or nil for simultaneous
 // wake-up. It consumes rng only when sampling is needed.
 func wakeNodes(cfg runConfig, rng *xrand.RNG) ([]int, error) {
@@ -266,8 +311,12 @@ func runSync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, re
 	if err != nil {
 		return err
 	}
+	graph, err := buildTopo(cfg, rng, res)
+	if err != nil {
+		return err
+	}
 	out, err := simsync.Run(simsync.Config{
-		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Wake: wake,
+		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Wake: wake, Topo: graph,
 		MaxMessages: cfg.budget, Trace: rec, Faults: inj,
 	}, factory)
 	if err != nil {
@@ -318,8 +367,12 @@ func runAsync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, r
 	if err != nil {
 		return err
 	}
+	graph, err := buildTopo(cfg, rng, res)
+	if err != nil {
+		return err
+	}
 	out, err := simasync.Run(simasync.Config{
-		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Delays: policy, Wake: wake,
+		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Delays: policy, Wake: wake, Topo: graph,
 		MaxMessages: cfg.budget, Faults: inj,
 	}, factory)
 	if err != nil {

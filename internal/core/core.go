@@ -68,6 +68,16 @@ const (
 	KindCancelGrant  uint8 = 15 // previous owner dropped out
 	KindCancelRefuse uint8 = 16 // previous owner is at a higher level
 	KindKill         uint8 = 17 // requester is rejected and stops competing
+
+	// General-graph extinction + echo (KuttenMoses).
+	KindCand uint8 = 18 // best-rank wave flood <rank>
+	KindEcho uint8 = 19 // convergecast: sender's subtree is fully absorbed
+	KindSame uint8 = 20 // non-tree reply closing a redundant wave edge
+	KindHalt uint8 = 21 // leader's termination flood
+
+	// Sampled-candidacy horizon election (KPPRT-style).
+	KindProbe uint8 = 22 // candidate rank bid (direct on the clique, relayed flood on graphs)
+	KindWin   uint8 = 23 // clique-mode referee ack for its best bid
 )
 
 // RankSpace is the size of the rank domain used by randomized protocols:

@@ -13,7 +13,7 @@
 //	batch, err := elect.RunMany(spec, b) // remote, byte-identical to local
 //
 // The determinism contract (ARCHITECTURE.md) is what makes the fabric
-// sound: every cell's Result is a pure function of its own (n, seed), so
+// sound: every cell's Result is a pure function of its own (topo, n, seed), so
 // chunk placement, failover, straggler duplicates and merge order cannot
 // change a single result byte. A sweep run on 8 daemons is byte-identical
 // to the same sweep run on 1 local core — including when a worker dies
@@ -214,7 +214,7 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 		return nil, fmt.Errorf("distrib: none of %d workers alive: %w", len(f.workers), elect.ErrNoWorkers)
 	}
 
-	total := len(ns) * len(seeds)
+	total := elect.GridSize(ns, seeds, b.Topos)
 	chunks := Partition(total, f.cfg.ChunkSize)
 	runs := make([]elect.Result, total)
 	keys := f.fingerprints(spec, ns, seeds, b)
@@ -272,7 +272,7 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 		go func() {
 			start := time.Now()
 			resp, err := w.c.Chunk(ctx, client.ChunkRequest{
-				Spec: spec.Name, Ns: ns, Seeds: seeds,
+				Spec: spec.Name, Ns: ns, Seeds: seeds, Topos: b.Topos,
 				Start: ch.Start, Count: ch.Count, Options: wopts,
 			})
 			comp := completion{ci: ci, w: w, dur: time.Since(start), err: err}
@@ -400,12 +400,9 @@ func (f *Fleet) fingerprints(spec elect.Spec, ns []int, seeds []uint64, b *elect
 	if b.Cache == nil {
 		return nil
 	}
-	keys := make([]string, len(ns)*len(seeds))
+	keys := make([]string, elect.GridSize(ns, seeds, b.Topos))
 	for idx := range keys {
-		opts := make([]elect.Option, 0, len(b.Options)+2)
-		opts = append(opts, b.Options...)
-		opts = append(opts, elect.WithN(ns[idx/len(seeds)]), elect.WithSeed(seeds[idx%len(seeds)]))
-		if key, err := elect.Fingerprint(spec, opts...); err == nil {
+		if key, err := elect.Fingerprint(spec, elect.CellOptions(b, ns, seeds, idx)...); err == nil {
 			keys[idx] = key
 		}
 	}

@@ -1,0 +1,68 @@
+package distrib
+
+import (
+	"testing"
+
+	"cliquelect/elect"
+)
+
+// TestPartitionEdgeCases is the degenerate-grid table: empty and single-cell
+// grids, hostile sizes, and the smallest real topology grids must neither
+// panic nor produce a chunk outside [0, total).
+func TestPartitionEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		total, size int
+		chunks      int
+	}{
+		{"empty grid", 0, 5, 0},
+		{"empty grid default size", 0, 0, 0},
+		{"negative total", -3, 4, 0},
+		{"single cell", 1, 0, 1},
+		{"single cell huge size", 1, 1 << 20, 1},
+		{"negative size means default", 10, -1, 10},
+		{"size one", 5, 1, 5},
+		{"remainder chunk", 10, 4, 3},
+		{"exact multiple", 12, 4, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Partition(tc.total, tc.size)
+			if len(got) != tc.chunks {
+				t.Fatalf("Partition(%d, %d) = %d chunks, want %d", tc.total, tc.size, len(got), tc.chunks)
+			}
+			next := 0
+			for _, c := range got {
+				if c.Start != next || c.Count < 1 {
+					t.Fatalf("bad chunk %+v at offset %d", c, next)
+				}
+				next = c.End()
+			}
+			if tc.total > 0 && next != tc.total {
+				t.Fatalf("chunks cover %d of %d cells", next, tc.total)
+			}
+		})
+	}
+}
+
+// TestPartitionTopoGrids pins the partitioner against real topology-swept
+// grid sizes: the chunking is a pure function of GridSize, so adding a
+// topology axis must shard exactly like any other grid of the same total.
+func TestPartitionTopoGrids(t *testing.T) {
+	ns := []int{64, 128}
+	seeds := []uint64{1, 2, 3}
+	for _, topos := range [][]string{nil, {"ring"}, {"ring", "torus", "rreg:d=4"}} {
+		total := elect.GridSize(ns, seeds, topos)
+		want := max(len(topos), 1) * len(ns) * len(seeds)
+		if total != want {
+			t.Fatalf("GridSize(%v) = %d, want %d", topos, total, want)
+		}
+		chunks := Partition(total, 4)
+		covered := 0
+		for _, c := range chunks {
+			covered += c.Count
+		}
+		if covered != total {
+			t.Fatalf("topos=%v: chunks cover %d of %d cells", topos, covered, total)
+		}
+	}
+}

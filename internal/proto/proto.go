@@ -72,13 +72,29 @@ type Delivery struct {
 }
 
 // Env is everything a node knows when it wakes up, per the KT0 model: its
-// own ID, the network size n, and a private random-bit stream. A node has
-// n-1 ports numbered 0..n-2.
+// own ID, the network size n, and a private random-bit stream. On the
+// default clique wiring a node has n-1 ports numbered 0..n-2; when the
+// engine runs over an explicit topology, Deg and Diam describe the node's
+// local wiring and the graph's diameter estimate (both 0 on the clique,
+// where the values are implied by N).
 type Env struct {
 	ID  int64
 	N   int
 	RNG *xrand.RNG
+	// Deg is the node's port count on an explicit topology; 0 means the
+	// clique wiring, where every node has n-1 ports.
+	Deg int
+	// Diam is the engine's diameter estimate for the topology the node is
+	// wired into; 0 means the clique (diameter 1 for n > 1). Protocols use
+	// it as a safe hop-count horizon.
+	Diam int
 }
 
-// Ports returns the number of ports of the node (n-1).
-func (e Env) Ports() int { return e.N - 1 }
+// Ports returns the number of ports of the node: Deg on an explicit
+// topology, n-1 on the clique.
+func (e Env) Ports() int {
+	if e.Deg > 0 {
+		return e.Deg
+	}
+	return e.N - 1
+}

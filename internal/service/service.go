@@ -223,8 +223,12 @@ func validRange(b elect.Batch, start, count int) error {
 	if seeds == 0 {
 		seeds = 1
 	}
-	if start < 0 || count < 1 || start+count > ns*seeds {
-		return fmt.Errorf("cell range [%d, %d) outside the %d-cell grid", start, start+count, ns*seeds)
+	total := ns * seeds
+	if len(b.Topos) > 0 {
+		total *= len(b.Topos)
+	}
+	if start < 0 || count < 1 || start+count > total {
+		return fmt.Errorf("cell range [%d, %d) outside the %d-cell grid", start, start+count, total)
 	}
 	return nil
 }
@@ -353,6 +357,7 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 			SmallIDSpace:  spec.SmallIDSpace,
 			Deterministic: spec.Deterministic,
 			FaultTolerant: spec.FaultTolerant,
+			Topologies:    spec.Topologies,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

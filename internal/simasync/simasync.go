@@ -28,6 +28,7 @@ import (
 	"cliquelect/internal/ids"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
+	"cliquelect/internal/topo"
 	"cliquelect/internal/xrand"
 )
 
@@ -182,8 +183,14 @@ type Config struct {
 	// IDs assigns an ID per node; required, length N.
 	IDs ids.Assignment
 	// Ports is the oblivious port mapping; nil defaults to LazyRandom seeded
-	// from Seed.
+	// from Seed. Ignored when Topo is set.
 	Ports portmap.Map
+	// Topo, when non-nil, wires the nodes as an explicit general graph
+	// instead of the default clique: node u owns Degree(u) ports and
+	// messages travel only along edges (per-link FIFO still holds). The
+	// topology's degree and diameter estimate are exposed to protocols
+	// through proto.Env.
+	Topo topo.Topology
 	// Delays is the adversary's scheduler; nil defaults to UnitDelay.
 	Delays DelayPolicy
 	// Wake is the adversary's wake schedule; required, nonempty.
@@ -405,9 +412,19 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	if len(cfg.Wake) == 0 {
 		return nil, errors.New("simasync: empty wake schedule")
 	}
+	if cfg.Topo != nil && cfg.Topo.N() != n {
+		return nil, fmt.Errorf("simasync: topology has %d nodes, config has %d", cfg.Topo.N(), n)
+	}
 	master := xrand.New(cfg.Seed)
 	pm := cfg.Ports
-	if pm == nil && n >= 2 {
+	if cfg.Topo != nil {
+		// Consume the wiring split even though the topology replaces the port
+		// map, so node and delay RNG streams stay aligned with the default
+		// path and topology-vs-clique comparisons differ only in the wiring.
+		if n >= 2 {
+			master.Split()
+		}
+	} else if pm == nil && n >= 2 {
 		lr := portmap.NewLazyRandom(n, master.Split())
 		defer lr.Release() // engine-owned: nothing retains the wiring
 		pm = lr
@@ -428,10 +445,18 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	// event loop (protocols hold pointers into it), so it is per-run, not
 	// pooled scratch.
 	rngs := make([]xrand.RNG, n)
+	diam := 0
+	if cfg.Topo != nil {
+		diam = cfg.Topo.Diameter()
+	}
 	for u := 0; u < n; u++ {
 		nodes[u] = factory(u)
 		master.SplitInto(&rngs[u])
 		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: &rngs[u]}
+		if cfg.Topo != nil {
+			envs[u].Deg = cfg.Topo.Degree(u)
+			envs[u].Diam = diam
+		}
 	}
 
 	res := &Result{
@@ -471,16 +496,24 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 
 	inj := cfg.Faults
 	kindAware, _ := delays.(KindAwareDelayPolicy)
+	// degOf and dest abstract over the two wirings: the implicit clique
+	// (portmap) and an explicit topology.
+	degOf := func(int) int { return n - 1 }
+	dest := func(u, p int) (int, int) { return pm.Dest(u, p) }
+	if cfg.Topo != nil {
+		degOf = cfg.Topo.Degree
+		dest = cfg.Topo.Dest
+	}
 	dispatch := func(u int, now float64, outs []proto.Send) error {
 		for _, s := range outs {
-			if s.Port < 0 || s.Port >= n-1 {
-				return fmt.Errorf("simasync: node %d sent on invalid port %d", u, s.Port)
+			if s.Port < 0 || s.Port >= degOf(u) {
+				return fmt.Errorf("simasync: node %d sent on invalid port %d (degree %d)", u, s.Port, degOf(u))
 			}
 			if cfg.MaxMessages > 0 && res.Messages >= cfg.MaxMessages {
 				res.Truncated = true
 				continue
 			}
-			v, q := pm.Dest(u, s.Port)
+			v, q := dest(u, s.Port)
 			res.Messages++
 			res.Words += int64(s.Msg.Words())
 			kinds.Add(s.Msg.Kind)

@@ -1,6 +1,9 @@
 // Package simsync simulates the synchronous clique of the paper (Section 2):
 // n nodes connected by point-to-point links, communicating in lock-step
-// rounds under the KT0 clean-network model.
+// rounds under the KT0 clean-network model. Setting Config.Topo replaces the
+// clique wiring with an explicit general graph (internal/topo): ports then
+// number 0..Degree(u)-1 and messages travel only along edges, with identical
+// round semantics.
 //
 // Round semantics follow the standard synchronous model the paper uses: in
 // round r every awake node first sends messages (over ports), then receives
@@ -23,6 +26,7 @@ import (
 	"cliquelect/internal/ids"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
+	"cliquelect/internal/topo"
 	"cliquelect/internal/trace"
 	"cliquelect/internal/xrand"
 )
@@ -98,8 +102,13 @@ type Config struct {
 	// IDs assigns an ID to each node. Required, length N.
 	IDs ids.Assignment
 	// Ports is the port mapping; nil defaults to a LazyRandom mapping seeded
-	// from Seed.
+	// from Seed. Ignored when Topo is set.
 	Ports portmap.Map
+	// Topo, when non-nil, wires the nodes as an explicit general graph
+	// instead of the default clique: node u owns Degree(u) ports and
+	// messages travel only along edges. The topology's degree and diameter
+	// estimate are exposed to protocols through proto.Env.
+	Topo topo.Topology
 	// Wake is the wake-up policy; nil defaults to Simultaneous.
 	Wake WakePolicy
 	// Seed drives all engine-owned randomness (default port map, node RNGs).
@@ -245,10 +254,13 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	if len(cfg.IDs) != n {
 		return nil, fmt.Errorf("simsync: %d IDs for %d nodes", len(cfg.IDs), n)
 	}
+	if cfg.Topo != nil && cfg.Topo.N() != n {
+		return nil, fmt.Errorf("simsync: topology has %d nodes, config has %d", cfg.Topo.N(), n)
+	}
 	master := xrand.New(cfg.Seed)
 	portRNG := master.Split()
 	pm := cfg.Ports
-	if pm == nil && n >= 2 {
+	if pm == nil && cfg.Topo == nil && n >= 2 {
 		lr := portmap.NewLazyRandom(n, portRNG)
 		defer lr.Release() // engine-owned: nothing retains the wiring
 		pm = lr
@@ -279,9 +291,17 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	// round loop (protocols hold pointers into it), so it is per-run, not
 	// arena scratch.
 	rngs := make([]xrand.RNG, n)
+	diam := 0
+	if cfg.Topo != nil {
+		diam = cfg.Topo.Diameter()
+	}
 	for u := 0; u < n; u++ {
 		master.SplitInto(&rngs[u])
 		envs[u] = proto.Env{ID: int64(cfg.IDs[u]), N: n, RNG: &rngs[u]}
+		if cfg.Topo != nil {
+			envs[u].Deg = cfg.Topo.Degree(u)
+			envs[u].Diam = diam
+		}
 	}
 	initial := wake.AwakeAtStart(n)
 	if len(initial) == 0 {
@@ -296,6 +316,16 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			res.WakeRound[u] = 1
 			nodes[u].Init(envs[u])
 		}
+	}
+
+	// degOf and dest abstract over the two wirings: the implicit clique
+	// (portmap) and an explicit topology. The closures stay out of the inner
+	// loop's allocation profile; dest is never called on an invalid port.
+	degOf := func(int) int { return n - 1 }
+	dest := func(u, p int) (int, int) { return pm.Dest(u, p) }
+	if cfg.Topo != nil {
+		degOf = cfg.Topo.Degree
+		dest = cfg.Topo.Dest
 	}
 
 	epKey := func(u, p int) uint64 { return uint64(u)<<32 | uint64(uint32(p)) }
@@ -348,8 +378,8 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				continue
 			}
 			for _, s := range nodes[u].Send(r) {
-				if s.Port < 0 || s.Port >= n-1 {
-					return nil, fmt.Errorf("simsync: node %d round %d sent on invalid port %d", u, r, s.Port)
+				if s.Port < 0 || s.Port >= degOf(u) {
+					return nil, fmt.Errorf("simsync: node %d round %d sent on invalid port %d (degree %d)", u, r, s.Port, degOf(u))
 				}
 				k := epKey(u, s.Port)
 				if cfg.Strict {
@@ -358,7 +388,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 					}
 					seenPort[k] = r
 				}
-				v, q := pm.Dest(u, s.Port)
+				v, q := dest(u, s.Port)
 				if cfg.Trace != nil {
 					_, used := usedPort[k]
 					cfg.Trace.RecordSend(r, u, v, !used)
