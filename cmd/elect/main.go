@@ -11,6 +11,7 @@
 //	elect -algo tradeoff -n 1024 -faults drop=0.05,crash=0.1
 //	elect -algo kuttenmoses -n 1024 -topo ring
 //	elect -algo kpprt -n 4096 -topo rreg:d=8
+//	elect -algo tradeoff -n 1024 -trace
 //	elect -list
 package main
 
@@ -46,6 +47,7 @@ func run(args []string) error {
 		explicit = fs.Bool("explicit", false, "explicit election: all nodes output the leader ID (sync only)")
 		faults   = fs.String("faults", "", "fault plan, e.g. drop=0.05,crash=0.1,dup=0.01,adaptive=1 (simulators only)")
 		topoSpec = fs.String("topo", "", "topology spec: ring, torus, rreg:d=K, power:m=K, edges:u-v,... (empty = clique)")
+		trace    = fs.Bool("trace", false, "print a per-round telemetry timeline (simulators only)")
 		list     = fs.Bool("list", false, "list algorithms and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,11 +93,17 @@ func run(args []string) error {
 	if *explicit && spec.Model == elect.Sync {
 		opts = append(opts, elect.WithExplicit())
 	}
+	if *trace {
+		opts = append(opts, elect.WithRoundTrace())
+	}
 	res, err := elect.Run(spec, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res)
+	if *trace {
+		printTimeline(res)
+	}
 	if res.Truncated {
 		return fmt.Errorf("run truncated by the message budget (%d messages sent)", res.Messages)
 	}
@@ -103,4 +111,31 @@ func run(args []string) error {
 		return fmt.Errorf("run did not elect a unique leader (randomized algorithms may fail; try another -seed)")
 	}
 	return nil
+}
+
+// printTimeline renders the WithRoundTrace timeline as a fixed-width table,
+// one line per round (sync) or unit-time window (async).
+func printTimeline(res elect.Result) {
+	if len(res.RoundTrace) == 0 {
+		return
+	}
+	unit := "round"
+	if res.Engine == elect.EngineAsync {
+		unit = "window"
+	}
+	fmt.Printf("\n%-7s %10s %10s %10s %7s %6s %8s  kinds\n",
+		unit, "messages", "words", "delivered", "active", "woke", "decided")
+	for _, s := range res.RoundTrace {
+		kinds := ""
+		for k := 0; k < 256; k++ {
+			if c, ok := s.Kinds[uint8(k)]; ok {
+				if kinds != "" {
+					kinds += " "
+				}
+				kinds += fmt.Sprintf("%d:%d", k, c)
+			}
+		}
+		fmt.Printf("%-7d %10d %10d %10d %7d %6d %8d  %s\n",
+			s.Round, s.Messages, s.Words, s.Deliveries, s.Active, s.Woke, s.Decided, kinds)
+	}
 }

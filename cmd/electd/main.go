@@ -12,6 +12,7 @@
 //	     -d '{"spec":"tradeoff","ns":[256,512],"seed_count":16,"async":true}'
 //	curl -N -H 'Accept: text/event-stream' localhost:8090/v1/jobs/<id>
 //	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/metrics
 //
 // See the "Serving elections" section of the README for the full API, and
 // cliquelect/elect/client for the Go client.
@@ -26,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +58,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		cacheEntries = fs.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result-cache bound (0 = unbounded)")
 		noCache      = fs.Bool("no-cache", false, "disable the result cache entirely")
 		quiet        = fs.Bool("quiet", false, "suppress per-request logging")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +90,22 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The API middleware must not wrap the profiler (its requests would
+		// pollute the route metrics), so pprof mounts on an outer mux that
+		// falls through to the service handler.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		logger.Printf("pprof mounted on /debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 

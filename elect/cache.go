@@ -49,6 +49,10 @@ type fingerprintPayload struct {
 	// and is omitted, so every clique key's preimage is byte-identical to
 	// the pre-topology key space (pinned by TestFingerprintGolden).
 	Topo string `json:"topo,omitempty"`
+	// RoundTrace distinguishes traced runs — their Result carries a timeline
+	// the untraced wire bytes lack. Trailing omitempty (like Topo): untraced
+	// keys keep their exact pre-round-trace preimages.
+	RoundTrace bool `json:"round_trace,omitempty"`
 }
 
 // faultsKey is FaultPlan minus NewAdversary, which has no canonical
@@ -118,7 +122,8 @@ func (c *runConfig) fingerprint(spec Spec) (string, error) {
 			DropFirst:   c.faults.DropFirst,
 			DupRate:     c.faults.DupRate,
 		},
-		Topo: topoCanon,
+		Topo:       topoCanon,
+		RoundTrace: c.roundTrace,
 	}
 	data, err := json.Marshal(payload)
 	if err != nil {

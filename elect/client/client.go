@@ -38,6 +38,30 @@ type Client struct {
 	retryBase     time.Duration
 	jitterSeed    uint64
 	jitterCalls   atomic.Uint64
+
+	// lifetime retry telemetry (see Stats).
+	attempts     atomic.Int64
+	retries      atomic.Int64
+	backoffNanos atomic.Int64
+}
+
+// ClientStats is a client's lifetime retry telemetry: how many HTTP tries
+// it made, how many of them were retries of a transient failure, and the
+// total backoff it slept between tries. The distrib fleet aggregates every
+// worker's stats into its sweep summary.
+type ClientStats struct {
+	Attempts int64
+	Retries  int64
+	Backoff  time.Duration
+}
+
+// Stats returns a point-in-time snapshot of the client's retry telemetry.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+		Backoff:  time.Duration(c.backoffNanos.Load()),
+	}
 }
 
 // Retry defaults: every request is tried up to 3 times, backing off
@@ -299,13 +323,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				// by a client-wide counter so concurrent requests decorrelate.
 				jitter = xrand.New(c.jitterSeed + c.jitterCalls.Add(1))
 			}
+			sleep := jitterDelay(backoff, jitter)
+			c.retries.Add(1)
+			c.backoffNanos.Add(int64(sleep))
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(jitterDelay(backoff, jitter)):
+			case <-time.After(sleep):
 			}
 			backoff = min(2*backoff, maxRetryBackoff)
 		}
+		c.attempts.Add(1)
 		var body io.Reader
 		if in != nil {
 			body = bytes.NewReader(data)

@@ -72,6 +72,9 @@ type Options struct {
 	Explicit bool `json:"explicit,omitempty"`
 	// Trace attaches the communication-graph summary (sync engine only).
 	Trace bool `json:"trace,omitempty"`
+	// RoundTrace attaches the per-round telemetry timeline (simulators
+	// only; see elect.WithRoundTrace).
+	RoundTrace bool `json:"round_trace,omitempty"`
 	// Faults is a fault plan in elect.ParseFaults syntax, e.g.
 	// "drop=0.1,crash=0.05". Plans with "adaptive=N" are uncacheable and
 	// bypass the result cache.
@@ -122,6 +125,9 @@ func (o Options) resolve(model elect.Model) ([]elect.Option, error) {
 	}
 	if o.Trace {
 		opts = append(opts, elect.WithTrace())
+	}
+	if o.RoundTrace {
+		opts = append(opts, elect.WithRoundTrace())
 	}
 	if o.Faults != "" {
 		plan, err := elect.ParseFaults(o.Faults)
@@ -346,7 +352,9 @@ type CacheStats struct {
 // gauges a fleet scheduler (internal/distrib) balances on: how much work is
 // waiting, how much is executing, and how parallel each job may run.
 type Health struct {
-	OK            bool           `json:"ok"`
+	OK bool `json:"ok"`
+	// Version is the daemon's service version (service.Version).
+	Version       string         `json:"version,omitempty"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Jobs          map[string]int `json:"jobs"`
 	// QueueDepth is the number of jobs (runs, batches, chunks) accepted but

@@ -55,20 +55,21 @@ func delayPolicy(p DelayProfile) (simasync.DelayPolicy, error) {
 
 // runConfig is the resolved option set of one Run.
 type runConfig struct {
-	n         int
-	seed      uint64
-	params    Params
-	ids       []int64
-	wakeCount int
-	wakeSet   []int
-	delays    DelayProfile
-	delaysSet bool
-	faults    FaultPlan
-	engine    Engine
-	trace     bool
-	budget    int64
-	explicit  bool
-	topo      string
+	n          int
+	seed       uint64
+	params     Params
+	ids        []int64
+	wakeCount  int
+	wakeSet    []int
+	delays     DelayProfile
+	delaysSet  bool
+	faults     FaultPlan
+	engine     Engine
+	trace      bool
+	roundTrace bool
+	budget     int64
+	explicit   bool
+	topo       string
 }
 
 // defaultRunConfig is the option baseline shared by Run, Fingerprint and
@@ -135,6 +136,15 @@ func WithEngine(e Engine) Option { return func(c *runConfig) { c.engine = e } }
 // attaches a TraceSummary to the Result. Only the sync engine supports
 // tracing; it costs extra memory.
 func WithTrace() Option { return func(c *runConfig) { c.trace = true } }
+
+// WithRoundTrace records a per-round telemetry timeline (messages, words,
+// payload kinds, active senders, wake-ups, decisions) and attaches it to
+// Result.RoundTrace. On the sync engine one entry covers one round; on the
+// async simulator one entry covers one unit-time window measured from the
+// first wake-up. The probe is purely observational — it consumes no
+// randomness, so a traced run's other Result fields are byte-identical to
+// the untraced run's. The live engine does not support it.
+func WithRoundTrace() Option { return func(c *runConfig) { c.roundTrace = true } }
 
 // WithMessageBudget aborts the run once it has sent the given number of
 // messages; a truncated run reports Truncated=true and OK=false. 0 means the

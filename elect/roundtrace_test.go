@@ -1,0 +1,126 @@
+package elect
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRoundTraceTimeline runs traced and untraced executions of the same
+// configuration on both engines and asserts (a) the timeline is internally
+// consistent — per-round messages/words sum to the Result totals, rounds are
+// contiguous — and (b) the probe is purely observational: every other Result
+// field is identical to the untraced run's.
+func TestRoundTraceTimeline(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		sync bool
+	}{
+		{"tradeoff", true},
+		{"kuttenmoses", true},
+		{"asynctradeoff", false},
+	} {
+		t.Run(tc.spec, func(t *testing.T) {
+			spec := mustSpec(t, tc.spec)
+			opts := []Option{WithN(48), WithSeed(7)}
+			plain, err := Run(spec, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traced, err := Run(spec, append(opts, WithRoundTrace())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(traced.RoundTrace) == 0 {
+				t.Fatal("traced run has empty RoundTrace")
+			}
+
+			var msgs, words, deliv int64
+			first := 1
+			if !tc.sync {
+				first = 0
+			}
+			for i, s := range traced.RoundTrace {
+				if s.Round != first+i {
+					t.Errorf("RoundTrace[%d].Round = %d, want %d", i, s.Round, first+i)
+				}
+				msgs += s.Messages
+				words += s.Words
+				deliv += s.Deliveries
+				var kindSum int64
+				for _, c := range s.Kinds {
+					kindSum += c
+				}
+				if kindSum != s.Messages {
+					t.Errorf("round %d: kinds sum %d != messages %d", s.Round, kindSum, s.Messages)
+				}
+				if s.Active > traced.N || s.Woke > traced.N || s.Decided > traced.N {
+					t.Errorf("round %d: counts exceed n: %+v", s.Round, s)
+				}
+			}
+			if msgs != traced.Messages {
+				t.Errorf("timeline messages = %d, Result.Messages = %d", msgs, traced.Messages)
+			}
+			if words != traced.Words {
+				t.Errorf("timeline words = %d, Result.Words = %d", words, traced.Words)
+			}
+			if deliv == 0 {
+				t.Error("timeline recorded no deliveries")
+			}
+			if tc.sync && len(traced.RoundTrace) != traced.Rounds {
+				t.Errorf("timeline has %d rounds, Result.Rounds = %d",
+					len(traced.RoundTrace), traced.Rounds)
+			}
+
+			// The probe must not perturb the execution.
+			traced.RoundTrace = nil
+			if !reflect.DeepEqual(plain, traced) {
+				t.Errorf("probe perturbed the run:\nplain  = %+v\ntraced = %+v", plain, traced)
+			}
+		})
+	}
+}
+
+// TestRoundTraceWireRoundTrip pins that the timeline survives the v1 codec.
+func TestRoundTraceWireRoundTrip(t *testing.T) {
+	res, err := Run(mustSpec(t, "tradeoff"), WithN(32), WithSeed(3), WithRoundTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.RoundTrace, back.RoundTrace) {
+		t.Errorf("timeline did not round-trip:\nin  = %+v\nout = %+v", res.RoundTrace, back.RoundTrace)
+	}
+}
+
+// TestRoundTraceLiveRejected pins the option/engine validation.
+func TestRoundTraceLiveRejected(t *testing.T) {
+	_, err := Run(mustSpec(t, "asynctradeoff"), WithN(8), WithEngine(EngineLive), WithRoundTrace())
+	if err == nil {
+		t.Fatal("WithRoundTrace on the live engine did not error")
+	}
+}
+
+// TestRoundTraceFingerprint pins the cache-key contract: tracing changes the
+// key (a traced Result carries bytes the untraced one lacks), while untraced
+// keys are untouched by the feature's existence.
+func TestRoundTraceFingerprint(t *testing.T) {
+	spec := mustSpec(t, "tradeoff")
+	plain, err := Fingerprint(spec, WithN(16), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Fingerprint(spec, WithN(16), WithSeed(1), WithRoundTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == traced {
+		t.Error("traced and untraced runs share a fingerprint")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"cliquelect/internal/core"
 	"cliquelect/internal/ids"
 	"cliquelect/internal/livenet"
+	"cliquelect/internal/obs"
 	"cliquelect/internal/proto"
 	"cliquelect/internal/simasync"
 	"cliquelect/internal/simsync"
@@ -48,6 +49,31 @@ type TraceSummary struct {
 	// PortOpens is the total number of first-use port events (Lemma 3.13's
 	// census quantity).
 	PortOpens int `json:"port_opens"`
+}
+
+// RoundStat is one entry of a WithRoundTrace timeline: one synchronous
+// round, or one unit-time window of the asynchronous simulator (window w
+// covers event times [w, w+1) from the first wake-up). Quantities follow
+// the Result conventions: Messages/Words count protocol sends (drops
+// included, duplicates not), Deliveries counts delivered copies
+// (duplicates included, drops not).
+type RoundStat struct {
+	// Round is the round number (sync; from 1) or window index (async;
+	// from 0).
+	Round int `json:"round"`
+	// Messages and Words are this round's share of Result.Messages/Words.
+	Messages int64 `json:"messages"`
+	Words    int64 `json:"words"`
+	// Deliveries counts message copies delivered this round.
+	Deliveries int64 `json:"deliveries"`
+	// Active is the number of distinct nodes that sent this round; Woke and
+	// Decided count wake-ups and decision finalizations.
+	Active  int `json:"active"`
+	Woke    int `json:"woke"`
+	Decided int `json:"decided"`
+	// Kinds counts this round's sends by payload kind (keyed by the kind
+	// byte rendered in decimal).
+	Kinds map[uint8]int64 `json:"kinds,omitempty"`
 }
 
 // Result is the unified outcome of one Run, regardless of engine. Fields
@@ -116,6 +142,9 @@ type Result struct {
 	Diameter int `json:"diameter,omitempty"`
 	// GraphEdges is the topology's undirected edge count m.
 	GraphEdges int64 `json:"graph_edges,omitempty"`
+	// RoundTrace is the per-round timeline when WithRoundTrace was set
+	// (trailing omitempty field: untraced wire encodings are unchanged).
+	RoundTrace []RoundStat `json:"round_trace,omitempty"`
 }
 
 // String renders a human-readable one-line-per-field summary.
@@ -177,6 +206,9 @@ func Run(spec Spec, opts ...Option) (Result, error) {
 	}
 	if cfg.trace && engine != EngineSync {
 		return res, fmt.Errorf("elect: WithTrace requires the sync engine (got %s)", engine)
+	}
+	if cfg.roundTrace && engine == EngineLive {
+		return res, fmt.Errorf("elect: WithRoundTrace requires a deterministic simulator (got %s engine)", engine)
 	}
 	if cfg.delaysSet && engine == EngineSync {
 		return res, fmt.Errorf("elect: WithDelays has no effect on the sync engine")
@@ -315,9 +347,13 @@ func runSync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, re
 	if err != nil {
 		return err
 	}
+	var rt *obs.RoundTrace
+	if cfg.roundTrace {
+		rt = obs.NewRoundTrace(cfg.n, 1)
+	}
 	out, err := simsync.Run(simsync.Config{
 		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Wake: wake, Topo: graph,
-		MaxMessages: cfg.budget, Trace: rec, Faults: inj,
+		MaxMessages: cfg.budget, Trace: rec, Faults: inj, Rounds: rt,
 	}, factory)
 	if err != nil {
 		return err
@@ -343,6 +379,7 @@ func runSync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, re
 			PortOpens:    rec.TotalPortOpens(),
 		}
 	}
+	res.RoundTrace = roundStats(rt)
 	return nil
 }
 
@@ -371,9 +408,13 @@ func runAsync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, r
 	if err != nil {
 		return err
 	}
+	var rt *obs.RoundTrace
+	if cfg.roundTrace {
+		rt = obs.NewRoundTrace(cfg.n, 0)
+	}
 	out, err := simasync.Run(simasync.Config{
 		N: cfg.n, IDs: assign, Seed: rng.Uint64(), Delays: policy, Wake: wake, Topo: graph,
-		MaxMessages: cfg.budget, Faults: inj,
+		MaxMessages: cfg.budget, Faults: inj, Rounds: rt,
 	}, factory)
 	if err != nil {
 		return err
@@ -390,7 +431,25 @@ func runAsync(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, r
 	res.Duplicated = out.Duplicated
 	res.Leader = out.UniqueLeader()
 	res.OK = out.Validate() == nil
+	res.RoundTrace = roundStats(rt)
 	return nil
+}
+
+// roundStats converts a probe's timeline to the wire-tagged Result form.
+func roundStats(rt *obs.RoundTrace) []RoundStat {
+	if rt == nil {
+		return nil
+	}
+	stats := rt.Stats()
+	out := make([]RoundStat, len(stats))
+	for i, s := range stats {
+		out[i] = RoundStat{
+			Round: s.Round, Messages: s.Messages, Words: s.Words,
+			Deliveries: s.Deliveries, Active: s.Active, Woke: s.Woke,
+			Decided: s.Decided, Kinds: s.Kinds,
+		}
+	}
+	return out
 }
 
 func runLive(spec Spec, cfg runConfig, assign ids.Assignment, rng *xrand.RNG, res *Result) error {

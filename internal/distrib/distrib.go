@@ -87,6 +87,26 @@ type worker struct {
 	cells  int64
 	chunks int64
 	busy   time.Duration
+
+	// dispatch telemetry: every attempt (successful or not), failed
+	// attempts, straggler duplicates, and the chunk-latency envelope of the
+	// successful ones.
+	dispatches int64
+	failures   int64
+	stragglers int64
+	minLat     time.Duration
+	maxLat     time.Duration
+}
+
+// noteDispatch records one dispatch attempt landing on this worker; dup
+// marks a straggler duplicate of a chunk already in flight elsewhere.
+func (w *worker) noteDispatch(dup bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dispatches++
+	if dup {
+		w.stragglers++
+	}
 }
 
 // New builds a Fleet over the given worker URLs. No probing happens here;
@@ -263,6 +283,7 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 			st.on = make(map[*worker]struct{}, 2)
 		}
 		st.on[w] = struct{}{}
+		w.noteDispatch(st.inflight > 0)
 		st.inflight++
 		if st.since.IsZero() {
 			st.since = time.Now()
@@ -488,7 +509,14 @@ func (w *worker) endChunk(ok bool, cells int, dur time.Duration) {
 		w.cells += int64(cells)
 		w.chunks++
 		w.busy += dur
+		if w.minLat == 0 || dur < w.minLat {
+			w.minLat = dur
+		}
+		if dur > w.maxLat {
+			w.maxLat = dur
+		}
 	} else {
+		w.failures++
 		w.alive = false
 	}
 }
@@ -502,6 +530,18 @@ type WorkerStats struct {
 	Chunks int64
 	Cells  int64
 	Busy   time.Duration
+	// Dispatches counts every attempt landed on this worker, Failures the
+	// attempts that errored, Stragglers the duplicate copies of chunks
+	// already in flight elsewhere.
+	Dispatches int64
+	Failures   int64
+	Stragglers int64
+	// MinLat and MaxLat bound the successful chunk latencies (0 before any
+	// chunk completes).
+	MinLat time.Duration
+	MaxLat time.Duration
+	// Client is the worker client's lifetime retry telemetry.
+	Client client.ClientStats
 }
 
 // CellsPerSec is the worker's observed throughput (0 before any chunk).
@@ -523,6 +563,12 @@ type Stats struct {
 	// without any dispatch.
 	LocalCells  int64
 	CachedCells int64
+	// HTTPAttempts, HTTPRetries and RetryBackoff aggregate every worker
+	// client's retry telemetry: total HTTP tries, how many were retries of
+	// transient failures, and the backoff slept between tries.
+	HTTPAttempts int64
+	HTTPRetries  int64
+	RetryBackoff time.Duration
 }
 
 // String renders the breakdown the sweep CLIs print at end of run: the
@@ -532,13 +578,17 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# fleet: %d chunks retried, %d cells run locally, %d cells from cache\n",
 		s.ChunksRetried, s.LocalCells, s.CachedCells)
+	fmt.Fprintf(&b, "# fleet: %d http attempts, %d retries, %s total backoff\n",
+		s.HTTPAttempts, s.HTTPRetries, s.RetryBackoff.Round(time.Millisecond))
 	for _, w := range s.Workers {
 		status := "alive"
 		if !w.Alive {
 			status = "dead"
 		}
-		fmt.Fprintf(&b, "# worker %s [%s]: %d cells in %d chunks (%.0f cells/s)\n",
-			w.URL, status, w.Cells, w.Chunks, w.CellsPerSec())
+		fmt.Fprintf(&b, "# worker %s [%s]: %d cells in %d chunks (%.0f cells/s), %d dispatches (%d failed, %d straggler dups), latency %s..%s\n",
+			w.URL, status, w.Cells, w.Chunks, w.CellsPerSec(),
+			w.Dispatches, w.Failures, w.Stragglers,
+			w.MinLat.Round(time.Millisecond), w.MaxLat.Round(time.Millisecond))
 	}
 	return b.String()
 }
@@ -551,11 +601,17 @@ func (f *Fleet) Stats() Stats {
 		CachedCells:   f.cachedCells.Load(),
 	}
 	for _, w := range f.workers {
+		cs := w.c.Stats()
 		w.mu.Lock()
 		out.Workers = append(out.Workers, WorkerStats{
 			URL: w.url, Alive: w.alive, Chunks: w.chunks, Cells: w.cells, Busy: w.busy,
+			Dispatches: w.dispatches, Failures: w.failures, Stragglers: w.stragglers,
+			MinLat: w.minLat, MaxLat: w.maxLat, Client: cs,
 		})
 		w.mu.Unlock()
+		out.HTTPAttempts += cs.Attempts
+		out.HTTPRetries += cs.Retries
+		out.RetryBackoff += cs.Backoff
 	}
 	return out
 }

@@ -198,15 +198,28 @@ func TestFleetMatchesLocal(t *testing.T) {
 	if stats.ChunksRetried != 0 || stats.LocalCells != 0 {
 		t.Fatalf("healthy fleet reported retries/local cells: %+v", stats)
 	}
-	var cells int64
+	var cells, dispatches int64
 	for _, ws := range stats.Workers {
 		if !ws.Alive {
 			t.Fatalf("worker %s reported dead", ws.URL)
 		}
 		cells += ws.Cells
+		dispatches += ws.Dispatches
+		if ws.Failures != 0 || ws.Stragglers != 0 {
+			t.Fatalf("healthy worker %s reported failures/stragglers: %+v", ws.URL, ws)
+		}
+		if ws.Chunks > 0 && (ws.MinLat <= 0 || ws.MaxLat < ws.MinLat) {
+			t.Fatalf("worker %s latency envelope %v..%v", ws.URL, ws.MinLat, ws.MaxLat)
+		}
 	}
 	if cells != 16 {
 		t.Fatalf("worker cells sum to %d, want 16", cells)
+	}
+	if want := int64(len(Partition(16, 3))); dispatches != want {
+		t.Fatalf("dispatch attempts sum to %d, want %d", dispatches, want)
+	}
+	if stats.HTTPAttempts == 0 || stats.HTTPRetries != 0 {
+		t.Fatalf("healthy fleet retry telemetry: %+v", stats)
 	}
 }
 

@@ -81,6 +81,14 @@ type Config struct {
 	// Result it ever served. Queued and running jobs are never evicted.
 	// 0 means 1024.
 	MaxJobs int
+	// OnJobDone, when non-nil, observes every job reaching a terminal state:
+	// its kind, final state, queue wait (submission to first execution; for
+	// jobs canceled in the queue, submission to cancellation) and execution
+	// time (zero if the job never ran). Called synchronously with the job
+	// lock held — implementations must be fast, non-blocking, and must not
+	// call back into the job or manager. The service layer feeds its metrics
+	// registry through this hook, keeping jobs free of any obs dependency.
+	OnJobDone func(kind Kind, state State, wait, exec time.Duration)
 }
 
 // Manager owns the queue, the workers and the job table.
@@ -88,6 +96,7 @@ type Manager struct {
 	cache        elect.Cache
 	maxJobs      int
 	batchWorkers int
+	onJobDone    func(Kind, State, time.Duration, time.Duration)
 	queue        chan *Job
 	wg           sync.WaitGroup
 
@@ -115,6 +124,7 @@ func NewManager(cfg Config) *Manager {
 		cache:        cfg.Cache,
 		maxJobs:      maxJobs,
 		batchWorkers: cfg.BatchWorkers,
+		onJobDone:    cfg.OnJobDone,
 		queue:        make(chan *Job, depth),
 		jobs:         make(map[string]*Job),
 	}
@@ -192,6 +202,7 @@ func (m *Manager) submit(j *Job, sopts []SubmitOption) (*Job, error) {
 	for _, o := range sopts {
 		o(j)
 	}
+	j.onDone = m.onJobDone
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -280,6 +291,8 @@ type Job struct {
 	batch        elect.Batch    // KindBatch, KindChunk
 	start, count int            // KindChunk cell range
 	noCache      bool
+
+	onDone func(Kind, State, time.Duration, time.Duration)
 
 	cancel     chan struct{}
 	cancelOnce sync.Once
@@ -469,6 +482,16 @@ func (j *Job) finishLocked(state State, err error) {
 	j.state = state
 	j.err = err
 	j.finished = time.Now()
+	if j.onDone != nil {
+		wait := j.started.Sub(j.created)
+		var exec time.Duration
+		if j.started.IsZero() {
+			wait = j.finished.Sub(j.created) // canceled in the queue
+		} else {
+			exec = j.finished.Sub(j.started)
+		}
+		j.onDone(j.Kind, state, wait, exec)
+	}
 	j.notifyLocked()
 	for id, ch := range j.subs {
 		delete(j.subs, id)

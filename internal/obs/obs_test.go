@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	// le semantics are inclusive: 1 lands in the le="1" bucket, 2 in le="2".
+	want := []int64{2, 2, 1, 1} // (..1], (1..2], (2..5], (5..+Inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-18) > 1e-9 {
+		t.Errorf("sum = %v, want 18", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations in (1, 2]: the distribution is "uniform inside the
+	// bucket" by the interpolation model, so p50 is the bucket midpoint.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p100 = %v, want 2 (bucket upper bound)", got)
+	}
+	// Observations beyond the last finite bound clamp to it.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// 40 observations, 10 per bucket: p25 at ~10, p75 at ~30.
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 10; i++ {
+			h.Observe(float64(b*10) + 5)
+		}
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {0.99, 39.6},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("q%v = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format: HELP/TYPE headers,
+// sorted families, sorted label sets, cumulative le buckets, _sum/_count.
+// This is the byte contract GET /metrics serves and the CI metrics-smoke
+// job greps.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("requests_total", "Requests by route.", "route", "code")
+	reqs.With("/v1/run", "200").Add(3)
+	reqs.With("/healthz", "200").Inc()
+	r.Gauge("queue_depth", "Jobs waiting.").Set(2)
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 5.55
+latency_seconds_count 3
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 2
+# HELP requests_total Requests by route.
+# TYPE requests_total counter
+requests_total{route="/healthz",code="200"} 1
+requests_total{route="/v1/run",code="200"} 3
+# HELP uptime_seconds Uptime.
+# TYPE uptime_seconds gauge
+uptime_seconds 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m", "h.", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `m{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h.")
+	b := r.Counter("c", "h.")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering at a different kind did not panic")
+		}
+	}()
+	r.Gauge("c", "h.")
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — series
+// creation, observation and scraping all racing — so `go test -race` proves
+// the locking. Totals are asserted afterwards: every increment must land.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("hits_total", "Hits.", "worker")
+	hist := r.HistogramVec("lat_seconds", "Latency.", []float64{0.01, 0.1, 1}, "worker")
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	workers := []string{"w0", "w1", "w2"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				w := workers[(g+i)%len(workers)]
+				vec.With(w).Inc()
+				hist.With(w).Observe(float64(i%100) / 100)
+				if i%500 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b) // scrape racing writes
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, w := range workers {
+		total += vec.With(w).Value()
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Fatalf("lost increments: %d, want %d", total, want)
+	}
+	var histTotal int64
+	for _, w := range workers {
+		histTotal += hist.With(w).Count()
+	}
+	if want := int64(goroutines * perG); histTotal != want {
+		t.Fatalf("lost observations: %d, want %d", histTotal, want)
+	}
+}

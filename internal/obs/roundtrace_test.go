@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+func TestRoundTraceSync(t *testing.T) {
+	rt := NewRoundTrace(4, 1)
+	rt.Woke(1)
+	rt.Woke(1)
+	rt.Send(1, 0, 7, 3)
+	rt.Send(1, 0, 7, 3) // same node again: Active counts it once
+	rt.Send(1, 1, 9, 3)
+	rt.Deliver(1, 3)
+	rt.Decided(2)
+	rt.Send(2, 0, 7, 3) // node 0 active again in a new round
+
+	stats := rt.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("len(stats) = %d, want 2", len(stats))
+	}
+	r1 := stats[0]
+	if r1.Round != 1 || r1.Messages != 3 || r1.Words != 9 || r1.Active != 2 ||
+		r1.Woke != 2 || r1.Deliveries != 3 || r1.Decided != 0 {
+		t.Errorf("round 1 = %+v", r1)
+	}
+	if r1.Kinds[7] != 2 || r1.Kinds[9] != 1 {
+		t.Errorf("round 1 kinds = %v", r1.Kinds)
+	}
+	r2 := stats[1]
+	if r2.Round != 2 || r2.Messages != 1 || r2.Active != 1 || r2.Decided != 1 {
+		t.Errorf("round 2 = %+v", r2)
+	}
+}
+
+// Async windows start at 0 and may skip; gaps are zero-filled so the
+// timeline is contiguous.
+func TestRoundTraceWindowGaps(t *testing.T) {
+	rt := NewRoundTrace(2, 0)
+	rt.Woke(0)
+	rt.Send(0, 0, 1, 3)
+	rt.Send(3, 1, 1, 3) // windows 1 and 2 saw nothing
+	stats := rt.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("len(stats) = %d, want 4", len(stats))
+	}
+	for i, s := range stats {
+		if s.Round != i {
+			t.Errorf("stats[%d].Round = %d", i, s.Round)
+		}
+	}
+	if stats[1].Messages != 0 || stats[2].Messages != 0 {
+		t.Errorf("gap windows not empty: %+v", stats[1:3])
+	}
+	if stats[3].Messages != 1 || stats[3].Active != 1 {
+		t.Errorf("window 3 = %+v", stats[3])
+	}
+}
+
+func TestRoundTraceEmpty(t *testing.T) {
+	rt := NewRoundTrace(8, 1)
+	if got := rt.Stats(); len(got) != 0 {
+		t.Fatalf("fresh collector has %d stats", len(got))
+	}
+}

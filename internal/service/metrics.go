@@ -1,0 +1,122 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"cliquelect/internal/jobs"
+	"cliquelect/internal/obs"
+)
+
+// Version identifies the service build on /healthz and in the
+// electd_build_info metric. Bump it when the API surface changes.
+const Version = "0.7.0"
+
+// metrics is the daemon's instrumentation: one obs.Registry populated by the
+// request middleware, the jobs.Config.OnJobDone hook and a handful of
+// GaugeFuncs sampled at scrape time. GET /metrics serves it in Prometheus
+// text format.
+type metrics struct {
+	reg *obs.Registry
+
+	requests *obs.CounterVec // route, method, code
+	latency  *obs.HistogramVec
+	jobsDone *obs.CounterVec // kind, state
+	jobWait  *obs.HistogramVec
+	jobExec  *obs.HistogramVec
+}
+
+// jobBuckets spans queue waits and executions from sub-millisecond single
+// runs to multi-minute sweeps.
+var jobBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+func newMetrics(s *Server) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{
+		reg: r,
+		requests: r.CounterVec("electd_requests_total",
+			"API requests by route, method and status code.",
+			"route", "method", "code"),
+		latency: r.HistogramVec("electd_request_duration_seconds",
+			"API request latency by route.", nil, "route"),
+		jobsDone: r.CounterVec("electd_jobs_total",
+			"Jobs reaching a terminal state, by kind and state.",
+			"kind", "state"),
+		jobWait: r.HistogramVec("electd_job_wait_seconds",
+			"Queue wait from submission to execution, by job kind.",
+			jobBuckets, "kind"),
+		jobExec: r.HistogramVec("electd_job_exec_seconds",
+			"Job execution time, by job kind.", jobBuckets, "kind"),
+	}
+	r.GaugeFunc("electd_queue_depth",
+		"Jobs accepted but not yet executing.",
+		func() float64 { return float64(s.mgr.QueueDepth()) })
+	r.GaugeFunc("electd_jobs_active",
+		"Jobs currently executing.",
+		func() float64 { return float64(s.mgr.Counts()[jobs.Running]) })
+	r.GaugeFunc("electd_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.CounterVec("electd_build_info",
+		"Constant 1, labeled with the service version.", "version").
+		With(Version).Inc()
+	if s.cfg.Cache != nil {
+		cache := s.cfg.Cache
+		r.CounterFunc("electd_cache_hits_total",
+			"Result-cache memory hits.",
+			func() float64 { return float64(cache.Stats().Hits) })
+		r.CounterFunc("electd_cache_disk_hits_total",
+			"Result-cache disk hits.",
+			func() float64 { return float64(cache.Stats().DiskHits) })
+		r.CounterFunc("electd_cache_misses_total",
+			"Result-cache misses.",
+			func() float64 { return float64(cache.Stats().Misses) })
+		r.CounterFunc("electd_cache_puts_total",
+			"Result-cache stores.",
+			func() float64 { return float64(cache.Stats().Puts) })
+		r.CounterFunc("electd_cache_evictions_total",
+			"Result-cache evictions.",
+			func() float64 { return float64(cache.Stats().Evictions) })
+		r.GaugeFunc("electd_cache_entries",
+			"Result-cache resident entries.",
+			func() float64 { return float64(cache.Stats().Entries) })
+	}
+	return m
+}
+
+// onJobDone is the jobs.Config.OnJobDone hook. It runs under the job lock,
+// so it only touches lock-free atomics (vector lookups allocate at most once
+// per label set).
+func (m *metrics) onJobDone(kind jobs.Kind, state jobs.State, wait, exec time.Duration) {
+	m.jobsDone.With(string(kind), string(state)).Inc()
+	m.jobWait.With(string(kind)).Observe(wait.Seconds())
+	if exec > 0 {
+		m.jobExec.With(string(kind)).Observe(exec.Seconds())
+	}
+}
+
+// statusWriter captures the response status for the request log and metrics.
+// It forwards Flush so SSE streaming (GET /v1/jobs/{id}) keeps working
+// behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cliquelect/elect/client"
+	"cliquelect/internal/resultcache"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of the first sample line whose name+labels
+// start with prefix, or 0 if absent.
+func metricValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v
+	}
+	return 0
+}
+
+// TestMetricsEndpoint drives a cached and an uncached run through the API
+// and asserts the exposition carries every family the CI smoke job greps,
+// with request/job/cache counters advancing monotonically.
+func TestMetricsEndpoint(t *testing.T) {
+	cache := resultcache.New()
+	srv := New(Config{Cache: cache})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	c := client.New(ts.URL)
+
+	before := scrape(t, ts.URL)
+	req := client.RunRequest{Spec: "tradeoff", N: 64, Seed: 3}
+	for i := 0; i < 2; i++ { // second submission is the cache hit
+		if _, err := c.Run(ctx(t), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := scrape(t, ts.URL)
+
+	for _, family := range []string{
+		"electd_requests_total",
+		"electd_request_duration_seconds",
+		"electd_jobs_total",
+		"electd_job_wait_seconds",
+		"electd_job_exec_seconds",
+		"electd_queue_depth",
+		"electd_jobs_active",
+		"electd_uptime_seconds",
+		"electd_build_info",
+		"electd_cache_hits_total",
+		"electd_cache_misses_total",
+		"electd_cache_entries",
+	} {
+		if !strings.Contains(after, "# TYPE "+family+" ") {
+			t.Errorf("family %s missing from exposition", family)
+		}
+	}
+
+	runLine := `electd_requests_total{route="/v1/run",method="POST",code="200"}`
+	if got := metricValue(t, after, runLine); got != 2 {
+		t.Errorf("%s = %v, want 2", runLine, got)
+	}
+	jobLine := `electd_jobs_total{kind="run",state="done"}`
+	b, a := metricValue(t, before, jobLine), metricValue(t, after, jobLine)
+	if a != b+2 {
+		t.Errorf("%s went %v -> %v, want +2", jobLine, b, a)
+	}
+	if hits := metricValue(t, after, "electd_cache_hits_total"); hits < 1 {
+		t.Errorf("cache hits = %v after a repeated run", hits)
+	}
+	if v := metricValue(t, after, fmt.Sprintf("electd_build_info{version=%q}", Version)); v != 1 {
+		t.Errorf("build info sample = %v, want 1", v)
+	}
+	// /metrics observes itself on the next scrape.
+	selfLine := `electd_requests_total{route="/metrics",method="GET",code="200"}`
+	if got := metricValue(t, after, selfLine); got < 1 {
+		t.Errorf("%s = %v, want >= 1", selfLine, got)
+	}
+}
+
+// TestStructuredRequestLog pins the key=value request-log shape, including
+// the job id tag on submissions.
+func TestStructuredRequestLog(t *testing.T) {
+	var mu struct {
+		lines []string
+	}
+	srv := New(Config{Logf: func(format string, args ...any) {
+		mu.lines = append(mu.lines, fmt.Sprintf(format, args...))
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	c := client.New(ts.URL)
+	if _, err := c.Health(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx(t), client.RunRequest{Spec: "tradeoff", N: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []*regexp.Regexp{
+		regexp.MustCompile(`^method=GET route=/healthz path=/healthz status=200 dur=\S+$`),
+		regexp.MustCompile(`^method=POST route=/v1/run path=/v1/run status=200 dur=\S+ job=j[0-9a-f]{12}$`),
+	}
+	if len(mu.lines) != len(want) {
+		t.Fatalf("logged %d lines, want %d: %q", len(mu.lines), len(want), mu.lines)
+	}
+	for i, re := range want {
+		if !re.MatchString(mu.lines[i]) {
+			t.Errorf("log line %d = %q, want match for %s", i, mu.lines[i], re)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	DELETE /v1/jobs/{id} — cancel
 //	GET  /v1/specs     — the protocol registry
 //	GET  /healthz      — liveness + job/cache counters
+//	GET  /metrics      — Prometheus text exposition (internal/obs registry)
 //
 // The wire schema lives in cliquelect/elect/client (shared with the Go
 // client); results ride the stable elect JSON codec.
@@ -25,12 +26,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"cliquelect/elect"
 	"cliquelect/elect/client"
 	"cliquelect/internal/jobs"
+	"cliquelect/internal/obs"
 	"cliquelect/internal/resultcache"
 )
 
@@ -45,7 +48,8 @@ type Config struct {
 	// Cache, when non-nil, serves repeated deterministic runs from stored
 	// bytes and reports its counters in /healthz.
 	Cache *resultcache.Cache
-	// Logf, when non-nil, receives one line per API request.
+	// Logf, when non-nil, receives one structured key=value line per API
+	// request (method, route, status, duration, job id).
 	Logf func(format string, args ...any)
 }
 
@@ -54,6 +58,7 @@ type Server struct {
 	cfg   Config
 	mgr   *jobs.Manager
 	mux   *http.ServeMux
+	met   *metrics
 	start time.Time
 }
 
@@ -63,6 +68,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		start: time.Now(),
 	}
+	s.met = newMetrics(s)
 	var cache elect.Cache
 	if cfg.Cache != nil {
 		cache = cfg.Cache
@@ -72,6 +78,7 @@ func New(cfg Config) *Server {
 		QueueDepth:   cfg.QueueDepth,
 		BatchWorkers: cfg.BatchWorkers,
 		Cache:        cache,
+		OnJobDone:    s.met.onJobDone,
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -82,17 +89,45 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/specs", s.handleSpecs)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	s.mux = mux
 	return s
 }
 
-// Handler returns the API handler.
+// Metrics exposes the daemon's registry (cmd/electd's pprof mux and tests).
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Handler returns the API handler: the route mux behind the observation
+// middleware that feeds the request metrics and the structured request log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.Logf != nil {
-			s.cfg.Logf("%s %s", r.Method, r.URL.Path)
+		began := time.Now()
+		rw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(rw, r)
+		// ServeMux stamps the matched pattern on the request itself, so the
+		// route label ("POST /v1/run" → "/v1/run") is read after dispatch.
+		route := r.Pattern
+		if i := strings.IndexByte(route, ' '); i >= 0 {
+			route = route[i+1:]
 		}
-		s.mux.ServeHTTP(w, r)
+		if route == "" {
+			route = "unmatched"
+		}
+		dur := time.Since(began)
+		code := rw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.met.requests.With(route, r.Method, strconv.Itoa(code)).Inc()
+		s.met.latency.With(route).Observe(dur.Seconds())
+		if s.cfg.Logf != nil {
+			line := fmt.Sprintf("method=%s route=%s path=%s status=%d dur=%s",
+				r.Method, route, r.URL.Path, code, dur.Round(time.Microsecond))
+			if id := rw.Header().Get("X-Job-Id"); id != "" {
+				line += " job=" + id
+			}
+			s.cfg.Logf("%s", line)
+		}
 	})
 }
 
@@ -115,6 +150,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set("X-Job-Id", job.ID)
 	if req.Async {
 		writeJSON(w, http.StatusAccepted, client.RunResponse{Job: status(job)})
 		return
@@ -150,6 +186,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set("X-Job-Id", job.ID)
 	if req.Async {
 		writeJSON(w, http.StatusAccepted, client.BatchResponse{Job: status(job)})
 		return
@@ -198,6 +235,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set("X-Job-Id", job.ID)
 	if !s.await(w, r, job) {
 		return
 	}
@@ -371,6 +409,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	h := client.Health{
 		OK:            true,
+		Version:       Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs:          map[string]int{},
 		QueueDepth:    s.mgr.QueueDepth(),

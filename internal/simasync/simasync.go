@@ -26,6 +26,7 @@ import (
 	"cliquelect/internal/faults"
 	"cliquelect/internal/flatmap"
 	"cliquelect/internal/ids"
+	"cliquelect/internal/obs"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
 	"cliquelect/internal/topo"
@@ -208,6 +209,12 @@ type Config struct {
 	// through the injector. The injector's RNG is private, so a nil injector
 	// leaves executions byte-identical to fault-free runs.
 	Faults *faults.Injector
+	// Rounds, when non-nil, collects a per-window telemetry timeline:
+	// events are bucketed into unit-time windows measured from the first
+	// wake-up (window w covers [w, w+1)), the async analogue of the sync
+	// engine's rounds. Purely observational — no randomness is consumed and
+	// a nil probe costs one branch per event.
+	Rounds *obs.RoundTrace
 }
 
 // Result summarizes one asynchronous execution.
@@ -494,6 +501,12 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 	linkKey := func(src, dst int) uint64 { return uint64(src)<<32 | uint64(uint32(dst)) }
 	lastEvent := firstWake
 
+	// Per-window probe: every event lands in unit-time window
+	// int(t - firstWake) — well-defined because no event precedes the first
+	// wake-up, and contiguous up to gaps the collector zero-fills.
+	rt := cfg.Rounds
+	window := func(at float64) int { return int(at - firstWake) }
+
 	inj := cfg.Faults
 	kindAware, _ := delays.(KindAwareDelayPolicy)
 	// degOf and dest abstract over the two wirings: the implicit clique
@@ -517,6 +530,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			res.Messages++
 			res.Words += int64(s.Msg.Words())
 			kinds.Add(s.Msg.Kind)
+			if rt != nil {
+				rt.Send(window(now), u, s.Msg.Kind, s.Msg.Words())
+			}
 			copies := 1
 			if inj != nil {
 				// Fault hook: per-delivery verdict. The message counts as
@@ -579,25 +595,49 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 		if e.time > lastEvent {
 			lastEvent = e.time
 		}
+		// wakeAndDispatch activates a sleeping node; the probe attributes the
+		// wake-up (and any decision it finalizes) to the event's window.
+		wakeAndDispatch := func() error {
+			awake[u] = true
+			res.WakeTime[u] = e.time
+			if rt == nil {
+				return dispatch(u, e.time, nodes[u].Wake(envs[u]))
+			}
+			rt.Woke(window(e.time))
+			before := nodes[u].Decision()
+			outs := nodes[u].Wake(envs[u])
+			if nodes[u].Decision() != before {
+				rt.Decided(window(e.time))
+			}
+			return dispatch(u, e.time, outs)
+		}
 		switch e.kind {
 		case evWake:
 			if awake[u] {
 				continue
 			}
-			awake[u] = true
-			res.WakeTime[u] = e.time
-			if err := dispatch(u, e.time, nodes[u].Wake(envs[u])); err != nil {
+			if err := wakeAndDispatch(); err != nil {
 				return nil, err
 			}
 		case evDeliver:
 			if !awake[u] {
-				awake[u] = true
-				res.WakeTime[u] = e.time
-				if err := dispatch(u, e.time, nodes[u].Wake(envs[u])); err != nil {
+				if err := wakeAndDispatch(); err != nil {
 					return nil, err
 				}
 			}
-			if err := dispatch(u, e.time, nodes[u].Receive(e.d)); err != nil {
+			if rt == nil {
+				if err := dispatch(u, e.time, nodes[u].Receive(e.d)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			rt.Deliver(window(e.time), 1)
+			before := nodes[u].Decision()
+			outs := nodes[u].Receive(e.d)
+			if nodes[u].Decision() != before {
+				rt.Decided(window(e.time))
+			}
+			if err := dispatch(u, e.time, outs); err != nil {
 				return nil, err
 			}
 		}

@@ -54,6 +54,10 @@ func (p *chatty) Halted() bool             { return p.halted }
 // (protocol instances, Result slices) plus slack for pool misses; it is far
 // below the cost of re-growing inboxes every round (rounds × n extra
 // allocations), so reintroducing per-round allocation trips it immediately.
+//
+// Config.Rounds is nil here, so this also pins the disabled round-trace
+// probe's cost at zero allocations: its nil guards must stay branches, never
+// interface conversions or closures that escape.
 func TestRoundLoopAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; budget is enforced in the non-race build")

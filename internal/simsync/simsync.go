@@ -24,6 +24,7 @@ import (
 
 	"cliquelect/internal/faults"
 	"cliquelect/internal/ids"
+	"cliquelect/internal/obs"
 	"cliquelect/internal/portmap"
 	"cliquelect/internal/proto"
 	"cliquelect/internal/topo"
@@ -122,6 +123,12 @@ type Config struct {
 	// Trace, when non-nil, records the communication graph of the run
 	// (needed by the lower-bound harnesses; costs extra memory).
 	Trace *trace.Recorder
+	// Rounds, when non-nil, collects a per-round telemetry timeline
+	// (messages, kinds, active senders, deliveries, wake-ups, decisions).
+	// Purely observational: it consumes no randomness, so traced and
+	// untraced executions are byte-identical in every other Result field,
+	// and a nil probe costs one branch per event on the hot path.
+	Rounds *obs.RoundTrace
 	// Faults, when non-nil, injects crash-stop/drop/duplicate faults. Crash
 	// checks run at every round boundary (instant = round number) and every
 	// send passes through the injector. The injector's RNG is private, so a
@@ -303,6 +310,7 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			envs[u].Diam = diam
 		}
 	}
+	rt := cfg.Rounds
 	initial := wake.AwakeAtStart(n)
 	if len(initial) == 0 {
 		return nil, errors.New("simsync: wake policy woke no nodes")
@@ -315,6 +323,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			awake[u] = true
 			res.WakeRound[u] = 1
 			nodes[u].Init(envs[u])
+			if rt != nil {
+				rt.Woke(1)
+			}
 		}
 	}
 
@@ -399,6 +410,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				res.Words += int64(s.Msg.Words())
 				res.PerRound[r]++
 				kinds.Add(s.Msg.Kind)
+				if rt != nil {
+					rt.Send(r, u, s.Msg.Kind, s.Msg.Words())
+				}
 				copies := 1
 				if inj != nil {
 					// Fault hook: per-delivery verdict. The message counts as
@@ -412,6 +426,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				}
 				for c := 0; c < copies; c++ {
 					inbox[v] = append(inbox[v], proto.Delivery{Port: q, Msg: s.Msg})
+				}
+				if rt != nil && copies > 0 {
+					rt.Deliver(r, copies)
 				}
 			}
 		}
@@ -432,6 +449,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 				res.WakeRound[v] = r
 				nodes[v].Init(envs[v])
 				lastActivity = r
+				if rt != nil {
+					rt.Woke(r)
+				}
 			}
 			if !awake[v] || nodes[v].Halted() {
 				continue
@@ -440,6 +460,9 @@ func Run(cfg Config, factory Factory) (*Result, error) {
 			nodes[v].Deliver(r, box)
 			if nodes[v].Decision() != before {
 				lastActivity = r
+				if rt != nil {
+					rt.Decided(r)
+				}
 			}
 		}
 		// Quiescence: every awake node halted or crashed. (Synchronous
