@@ -13,6 +13,8 @@
 //	curl -N -H 'Accept: text/event-stream' localhost:8090/v1/jobs/<id>
 //	curl -s localhost:8090/healthz
 //	curl -s localhost:8090/metrics
+//	curl -s localhost:8090/v1/traces
+//	curl -s localhost:8090/v1/traces/<trace-id>   # id from any X-Trace-Id header
 //
 // See the "Serving elections" section of the README for the full API, and
 // cliquelect/elect/client for the Go client.
@@ -59,13 +61,21 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		noCache      = fs.Bool("no-cache", false, "disable the result cache entirely")
 		quiet        = fs.Bool("quiet", false, "suppress per-request logging")
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceSpans   = fs.Int("trace-spans", 0, "request-trace span buffer capacity behind /v1/traces (0 = default, negative = disable tracing)")
+		instance     = fs.String("instance", "", "daemon name in trace spans, so merged fleet traces tell workers apart (empty = the listen address)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := service.Config{Workers: *workers, QueueDepth: *queue, BatchWorkers: *batchWorkers}
+	cfg := service.Config{
+		Workers: *workers, QueueDepth: *queue, BatchWorkers: *batchWorkers,
+		TraceSpans: *traceSpans, Instance: *instance,
+	}
+	if cfg.Instance == "" {
+		cfg.Instance = *addr
+	}
 	if !*noCache {
 		copts := []resultcache.Option{resultcache.WithMaxEntries(*cacheEntries)}
 		if *cacheDir != "" {

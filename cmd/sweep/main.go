@@ -16,6 +16,13 @@
 // electd daemons (internal/distrib) — byte-identical output either way,
 // with a per-worker cells/s breakdown at the end of the run.
 //
+// The -trace-out flag traces the whole invocation — client calls,
+// coordinator dispatches, worker-side queue/exec spans returned in chunk
+// responses — into one distributed trace, written as Chrome trace-event
+// JSON (load it in about:tracing or Perfetto), plus an ASCII waterfall of
+// the slowest chunk dispatch on stdout. Tracing is observational: traced
+// and untraced sweeps produce byte-identical results.
+//
 // Usage:
 //
 //	sweep -algo tradeoff -k 3,4,5 -ns 256,512,1024,2048
@@ -24,6 +31,7 @@
 //	sweep -algo tradeoff -k 3,4 -ns 256,512,1024 -compare BENCH_2026-07-30.json
 //	sweep -algo tradeoff -ns 4096 -seeds 50 -cache /tmp/electcache
 //	sweep -algo tradeoff -ns 4096,8192 -seeds 50 -workers host1:8090,host2:8090
+//	sweep -algo tradeoff -ns 1024 -seeds 20 -workers host1:8090,host2:8090 -trace-out sweep.trace.json
 //	sweep -algo kuttenmoses -topo ring,torus,rreg:d=8 -ns 256,1024,4096
 package main
 
@@ -32,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +48,7 @@ import (
 	"cliquelect/elect/client"
 	"cliquelect/internal/cliutil"
 	"cliquelect/internal/distrib"
+	"cliquelect/internal/obs"
 	"cliquelect/internal/resultcache"
 	"cliquelect/internal/stats"
 )
@@ -69,6 +79,7 @@ func run(args []string) error {
 		compare  = fs.String("compare", "", "diff the new rows against this prior BENCH_*.json and fail on >10% regressions")
 		cacheDir = fs.String("cache", "", "persistent result-cache directory; repeated sweeps replay cached runs")
 		topoFlag = fs.String("topo", "", "comma-separated topology specs swept as an extra axis, e.g. ring,torus,rreg:d=8 (empty = clique)")
+		traceOut = fs.String("trace-out", "", "trace the sweep and write Chrome trace-event JSON (about:tracing / Perfetto) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,9 +104,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// -trace-out roots one trace over the whole invocation: every per-k
+	// batch (local) or grid (fleet) rides under the same sweep span, so the
+	// exported file shows the full client→coordinator→worker waterfall.
+	var spanCol *obs.SpanCollector
+	var traceRoot obs.SpanContext
+	if *traceOut != "" {
+		spanCol = obs.NewSpanCollector(0)
+		traceRoot = obs.NewSpanContext()
+	}
 	var fleet *distrib.Fleet
 	if fleetHosts != nil {
-		if fleet, err = distrib.New(distrib.Config{Workers: fleetHosts}); err != nil {
+		if fleet, err = distrib.New(distrib.Config{
+			Workers: fleetHosts, Spans: spanCol, Root: traceRoot,
+		}); err != nil {
 			return err
 		}
 	}
@@ -148,9 +170,21 @@ func run(args []string) error {
 			}
 			b.Remote = fleet.Runner(wire)
 		}
+		kStart := time.Now()
 		batch, err := elect.RunMany(spec, b)
 		if err != nil {
 			return err
+		}
+		if spanCol != nil && fleet == nil {
+			// Local mode has no grid spans, so give each k iteration its own
+			// span under the sweep root (fleet mode gets them from distrib).
+			sc := traceRoot.Child()
+			spanCol.Add(obs.Span{
+				Trace: sc.Trace, ID: sc.Span, Parent: traceRoot.Span,
+				Name: "batch", Service: "sweep",
+				Start: kStart.UnixMicro(), Dur: time.Since(kStart).Microseconds(),
+				Attrs: map[string]string{"k": strconv.Itoa(k), "cells": strconv.Itoa(len(batch.Runs))},
+			})
 		}
 		cells += len(batch.Runs)
 		// One power fit per topology group (the clique-only sweep is the
@@ -222,6 +256,56 @@ func run(args []string) error {
 		if err := compareBench(*compare, bench); err != nil {
 			return err
 		}
+	}
+	if spanCol != nil {
+		spanCol.Add(obs.Span{
+			Trace: traceRoot.Trace, ID: traceRoot.Span,
+			Name: "sweep", Service: "sweep",
+			Start: start.UnixMicro(), Dur: elapsed.Microseconds(),
+			Attrs: map[string]string{"algo": *algo, "cells": strconv.Itoa(cells)},
+		})
+		if err := writeTrace(*traceOut, spanCol.Trace(traceRoot.Trace), !*csv); err != nil {
+			return err
+		}
+		if !*csv {
+			fmt.Printf("# wrote %s (trace %s, %d spans)\n",
+				*traceOut, traceRoot.Trace, spanCol.Len())
+		}
+	}
+	return nil
+}
+
+// writeTrace exports the sweep's spans as Chrome trace-event JSON and, when
+// verbose, prints an ASCII waterfall of the slowest chunk dispatch — the
+// at-a-glance answer to "where did the time go".
+func writeTrace(path string, spans []obs.Span, verbose bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !verbose {
+		return nil
+	}
+	var slowest *obs.Span
+	for i := range spans {
+		if spans[i].Name != "chunk.dispatch" {
+			continue
+		}
+		if slowest == nil || spans[i].Dur > slowest.Dur {
+			slowest = &spans[i]
+		}
+	}
+	if slowest != nil {
+		fmt.Printf("# slowest chunk dispatch (%s cells [%s, +%s)):\n",
+			slowest.Attrs["worker"], slowest.Attrs["start"], slowest.Attrs["count"])
+		obs.Waterfall(os.Stdout, "# ", *slowest, spans, 48)
 	}
 	return nil
 }

@@ -196,3 +196,73 @@ func TestSweepWorkersFlagErrors(t *testing.T) {
 		t.Fatal("malformed host list accepted")
 	}
 }
+
+// TestSweepTraceOut drives a fleet sweep with -trace-out and checks the
+// exported file is Chrome trace-event JSON carrying the full span
+// taxonomy, all under one trace.
+func TestSweepTraceOut(t *testing.T) {
+	fleet := startWorkers(t, 2)
+	path := filepath.Join(t.TempDir(), "sweep.trace.json")
+	if err := run([]string{"-algo", "tradeoff", "-k", "3", "-ns", "32,64",
+		"-seeds", "4", "-workers", fleet, "-trace-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	names := map[string]int{}
+	traceIDs := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name]++
+		if ev.Ph == "X" {
+			if id, ok := ev.Args["trace_id"].(string); ok {
+				traceIDs[id] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"sweep", "grid", "chunk.dispatch", "client.request",
+		"chunk.serve", "queue.wait", "job.exec", "process_name",
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace file has no %q events (have %v)", want, names)
+		}
+	}
+	if len(traceIDs) != 1 {
+		t.Errorf("trace file spans %d trace ids, want exactly 1: %v", len(traceIDs), traceIDs)
+	}
+}
+
+// TestSweepLocalTraceOut covers the no-fleet path: a purely local sweep
+// still writes a valid trace with sweep and per-k batch spans.
+func TestSweepLocalTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "local.trace.json")
+	if err := run([]string{"-algo", "tradeoff", "-k", "3,4", "-ns", "32",
+		"-seeds", "2", "-trace-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"sweep"`, `"name":"batch"`, `"k":"3"`, `"k":"4"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("local trace missing %s:\n%s", want, data)
+		}
+	}
+}

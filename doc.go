@@ -57,6 +57,13 @@
 //   - internal/experiments — the Table-1 reproduction harness (E1..E13).
 //   - internal/jobs, internal/resultcache, internal/service — the serving
 //     layer behind cmd/electd (job queue, result cache, HTTP handlers).
+//   - internal/obs — observability substrate: the metrics registry behind
+//     GET /metrics and the distributed request-tracing layer (W3C
+//     traceparent spans across client → daemon → job, GET /v1/traces,
+//     Chrome trace-event export, sweep -trace-out waterfalls). Despite
+//     the similar name, internal/trace is unrelated: it records the
+//     paper's communication graph (Definition 3.1) for the lower-bound
+//     machinery, while internal/obs traces serving-stack requests.
 //   - internal/distrib — the distributed dispatch fabric: chunk
 //     partitioner, worker registry, failover/straggler scheduler, merger.
 //   - cmd/elect, cmd/sweep, cmd/faultsweep, cmd/experiments,

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"cliquelect/internal/obs"
 	"cliquelect/internal/xrand"
 )
 
@@ -38,6 +40,11 @@ type Client struct {
 	retryBase     time.Duration
 	jitterSeed    uint64
 	jitterCalls   atomic.Uint64
+
+	// spans receives client-side request and attempt spans (see
+	// WithSpanCollector); nil drops them, but a traced context still
+	// propagates its traceparent to the daemon.
+	spans *obs.SpanCollector
 
 	// lifetime retry telemetry (see Stats).
 	attempts     atomic.Int64
@@ -101,6 +108,16 @@ func WithRetry(attempts int, base time.Duration) ClientOption {
 			c.retryBase = base
 		}
 	}
+}
+
+// WithSpanCollector directs the client's request and per-attempt spans into
+// col (typically shared with the process's other components, e.g. the
+// distrib fleet coordinator). Independent of the collector, a request whose
+// context carries an obs.SpanContext always sends a W3C traceparent header
+// so the daemon joins the caller's trace; with a collector but no inbound
+// context, each request roots a fresh trace.
+func WithSpanCollector(col *obs.SpanCollector) ClientOption {
+	return func(c *Client) { c.spans = col }
 }
 
 // WithRetryJitterSeed pins the seed of the backoff jitter stream, making
@@ -228,6 +245,24 @@ func (c *Client) Specs(ctx context.Context) ([]SpecInfo, error) {
 	return out.Specs, nil
 }
 
+// Traces lists the daemon's recent request traces, newest first.
+func (c *Client) Traces(ctx context.Context) ([]TraceSummary, error) {
+	var out TracesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// Trace fetches every span the daemon holds for one trace id.
+func (c *Client) Trace(ctx context.Context, id string) (*TraceResponse, error) {
+	var out TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health fetches the daemon's health and counters.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health
@@ -305,6 +340,12 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*Jo
 // momentarily saturated daemon) — with capped, ±20%-jittered exponential
 // backoff. Definite answers (2xx, 4xx, 422, …) are never retried, and a
 // canceled context aborts the loop immediately.
+//
+// When the context carries an obs.SpanContext (or a collector is attached),
+// the whole call becomes a client.request span, every try a client.attempt
+// child tagged with its attempt number and preceding backoff, and each try's
+// traceparent header carries that attempt's context — so a retried request
+// shows up server-side as sibling subtrees of one attempt each.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var data []byte
 	if in != nil {
@@ -313,27 +354,51 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 	}
+	parent := obs.SpanFromContext(ctx)
+	traced := parent.Valid() || c.spans != nil
+	var reqSC obs.SpanContext
+	tries := 0
+	if traced {
+		if parent.Valid() {
+			reqSC = parent.Child()
+		} else {
+			reqSC = obs.NewSpanContext()
+		}
+		began := time.Now()
+		defer func() {
+			c.spans.Add(obs.Span{
+				Trace: reqSC.Trace, ID: reqSC.Span, Parent: parent.Span,
+				Name: "client.request", Service: "client",
+				Start: began.UnixMicro(), Dur: time.Since(began).Microseconds(),
+				Attrs: map[string]string{
+					"method": method, "path": path, "attempts": strconv.Itoa(tries),
+				},
+			})
+		}()
+	}
 	var lastErr error
 	var jitter *xrand.RNG
 	backoff := c.retryBase
 	for attempt := 0; attempt < c.retryAttempts; attempt++ {
+		var slept time.Duration
 		if attempt > 0 {
 			if jitter == nil {
 				// One jitter stream per request that actually retries, advanced
 				// by a client-wide counter so concurrent requests decorrelate.
 				jitter = xrand.New(c.jitterSeed + c.jitterCalls.Add(1))
 			}
-			sleep := jitterDelay(backoff, jitter)
+			slept = jitterDelay(backoff, jitter)
 			c.retries.Add(1)
-			c.backoffNanos.Add(int64(sleep))
+			c.backoffNanos.Add(int64(slept))
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(sleep):
+			case <-time.After(slept):
 			}
 			backoff = min(2*backoff, maxRetryBackoff)
 		}
 		c.attempts.Add(1)
+		tries++
 		var body io.Reader
 		if in != nil {
 			body = bytes.NewReader(data)
@@ -345,14 +410,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		var attemptSC obs.SpanContext
+		var tryBegan time.Time
+		if traced {
+			attemptSC = reqSC.Child()
+			tryBegan = time.Now()
+			req.Header.Set("traceparent", attemptSC.Traceparent())
+		}
 		resp, err := c.http.Do(req)
 		if err != nil {
+			c.attemptSpan(attemptSC, reqSC, tryBegan, attempt, slept, "error")
 			if ctx.Err() != nil {
 				return err
 			}
 			lastErr = err // connection refused/reset, DNS, ...: retryable
 			continue
 		}
+		c.attemptSpan(attemptSC, reqSC, tryBegan, attempt, slept, strconv.Itoa(resp.StatusCode))
 		if TransientStatus(resp.StatusCode) {
 			lastErr = decodeError(resp)
 			resp.Body.Close()
@@ -371,6 +445,26 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return lastErr
+}
+
+// attemptSpan records one HTTP try as a child of the request span; a no-op
+// for untraced requests (zero attempt context).
+func (c *Client) attemptSpan(sc, parent obs.SpanContext, began time.Time, attempt int, backoff time.Duration, outcome string) {
+	if !sc.Valid() {
+		return
+	}
+	attrs := map[string]string{
+		"attempt": strconv.Itoa(attempt + 1), "outcome": outcome,
+	}
+	if backoff > 0 {
+		attrs["backoff"] = backoff.String()
+	}
+	c.spans.Add(obs.Span{
+		Trace: sc.Trace, ID: sc.Span, Parent: parent.Span,
+		Name: "client.attempt", Service: "client",
+		Start: began.UnixMicro(), Dur: time.Since(began).Microseconds(),
+		Attrs: attrs,
+	})
 }
 
 // jitterDelay scales one backoff sleep by a uniform factor in

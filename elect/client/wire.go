@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cliquelect/elect"
+	"cliquelect/internal/obs"
 )
 
 // This file defines the electd wire schema: the JSON request and response
@@ -263,6 +264,11 @@ func (r ChunkRequest) Resolve() (elect.Spec, elect.Batch, error) {
 // of the requested range, in cell order, on the stable result codec.
 type ChunkResponse struct {
 	Results []elect.Result `json:"results"`
+	// Spans carries the worker-side spans of a traced chunk (the serving
+	// root, queue wait and execution) so the coordinator can merge every
+	// worker's view into one fleet trace. A trailing, omitted-when-empty
+	// addition — not a wire break.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // JobStatus is the wire view of one job (see GET /v1/jobs/{id} and the SSE
@@ -367,6 +373,30 @@ type Health struct {
 	// per-chunk capacity.
 	BatchWorkers int         `json:"batch_workers"`
 	Cache        *CacheStats `json:"cache,omitempty"`
+}
+
+// TraceSummary is one entry of GET /v1/traces: a recent trace summarized
+// by its root span (the earliest span whose parent the daemon doesn't hold)
+// and its overall time window in microseconds.
+type TraceSummary struct {
+	ID      string `json:"id"`
+	Root    string `json:"root"`
+	Service string `json:"service"`
+	Spans   int    `json:"spans"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// TracesResponse is the body of GET /v1/traces, newest trace first.
+type TracesResponse struct {
+	Traces []TraceSummary `json:"traces"`
+}
+
+// TraceResponse is the body of GET /v1/traces/{id}: every span the daemon
+// holds for one trace, in insertion order.
+type TraceResponse struct {
+	ID    string     `json:"id"`
+	Spans []obs.Span `json:"spans"`
 }
 
 // ErrorResponse is the body of every non-2xx API answer.

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 
 	"cliquelect/elect"
 	"cliquelect/elect/client"
+	"cliquelect/internal/obs"
 )
 
 // Config assembles a Fleet.
@@ -59,6 +61,16 @@ type Config struct {
 	// ClientOptions are applied to every worker's client (retry tuning,
 	// test transports).
 	ClientOptions []client.ClientOption
+	// Spans, when non-nil, collects the coordinator-side trace: one grid
+	// span per RunGrid, one chunk.dispatch span per dispatch attempt, and
+	// the worker-side spans returned in chunk responses. Worker clients are
+	// wired into the same collector. Purely observational — scheduling
+	// decisions never read it.
+	Spans *obs.SpanCollector
+	// Root, when valid, parents every grid span, so a multi-grid sweep
+	// (cmd/sweep's parameter loop) forms one trace; otherwise each RunGrid
+	// roots its own.
+	Root obs.SpanContext
 }
 
 // Fleet is a registry of electd workers plus the chunk scheduler. All
@@ -124,13 +136,20 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.StragglerAfter <= 0 {
 		cfg.StragglerAfter = 30 * time.Second
 	}
+	copts := cfg.ClientOptions
+	if cfg.Spans != nil {
+		// Worker clients share the coordinator's collector, so their
+		// request/attempt spans land in the same trace store as the
+		// dispatch spans.
+		copts = append(copts[:len(copts):len(copts)], client.WithSpanCollector(cfg.Spans))
+	}
 	f := &Fleet{cfg: cfg}
 	for _, raw := range cfg.Workers {
 		url := NormalizeURL(raw)
 		if url == "" {
 			return nil, fmt.Errorf("distrib: empty worker URL in %v", cfg.Workers)
 		}
-		f.workers = append(f.workers, &worker{url: url, c: client.New(url, cfg.ClientOptions...)})
+		f.workers = append(f.workers, &worker{url: url, c: client.New(url, copts...)})
 	}
 	return f, nil
 }
@@ -218,9 +237,36 @@ type completion struct {
 }
 
 // runGrid is the scheduler: partition, probe, dispatch, failover, merge.
-func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batch, wopts client.Options) ([]elect.Result, error) {
+func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batch, wopts client.Options) (results []elect.Result, err error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Trace the grid when a collector or an inherited root is configured.
+	// The grid span context also parents every chunk.dispatch and, through
+	// the traced worker clients, the whole remote subtree.
+	var gridSC obs.SpanContext
+	if traced := f.cfg.Spans != nil || f.cfg.Root.Valid(); traced {
+		if f.cfg.Root.Valid() {
+			gridSC = f.cfg.Root.Child()
+		} else {
+			gridSC = obs.NewSpanContext()
+		}
+		gridStart := time.Now()
+		defer func() {
+			attrs := map[string]string{
+				"spec":  spec.Name,
+				"cells": strconv.Itoa(elect.GridSize(ns, seeds, b.Topos)),
+			}
+			if err != nil {
+				attrs["error"] = err.Error()
+			}
+			f.cfg.Spans.Add(obs.Span{
+				Trace: gridSC.Trace, ID: gridSC.Span, Parent: f.cfg.Root.Span,
+				Name: "grid", Service: "sweep",
+				Start: gridStart.UnixMicro(), Dur: time.Since(gridStart).Microseconds(),
+				Attrs: attrs,
+			})
+		}()
+	}
 	if b.Cancel != nil {
 		go func() {
 			select {
@@ -283,7 +329,8 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 			st.on = make(map[*worker]struct{}, 2)
 		}
 		st.on[w] = struct{}{}
-		w.noteDispatch(st.inflight > 0)
+		dup := st.inflight > 0
+		w.noteDispatch(dup)
 		st.inflight++
 		if st.since.IsZero() {
 			st.since = time.Now()
@@ -292,7 +339,16 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 		ch := chunks[ci]
 		go func() {
 			start := time.Now()
-			resp, err := w.c.Chunk(ctx, client.ChunkRequest{
+			cctx := ctx
+			var dispSC obs.SpanContext
+			if gridSC.Valid() {
+				// One dispatch span per attempt; the worker client reads the
+				// context and parents its request/attempt spans (and, via the
+				// traceparent header, the worker daemon's subtree) under it.
+				dispSC = gridSC.Child()
+				cctx = obs.ContextWithSpan(ctx, dispSC)
+			}
+			resp, err := w.c.Chunk(cctx, client.ChunkRequest{
 				Spec: spec.Name, Ns: ns, Seeds: seeds, Topos: b.Topos,
 				Start: ch.Start, Count: ch.Count, Options: wopts,
 			})
@@ -303,6 +359,30 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 						w.url, len(resp.Results), ch.Count)
 				} else {
 					comp.results = resp.Results
+				}
+			}
+			if dispSC.Valid() {
+				attrs := map[string]string{
+					"worker": w.url,
+					"start":  strconv.Itoa(ch.Start),
+					"count":  strconv.Itoa(ch.Count),
+				}
+				if dup {
+					attrs["dup"] = "true"
+				}
+				if comp.err != nil {
+					attrs["error"] = comp.err.Error()
+				}
+				f.cfg.Spans.Add(obs.Span{
+					Trace: dispSC.Trace, ID: dispSC.Span, Parent: gridSC.Span,
+					Name: "chunk.dispatch", Service: "sweep",
+					Start: start.UnixMicro(), Dur: comp.dur.Microseconds(),
+					Attrs: attrs,
+				})
+				if err == nil {
+					// Merge the worker-side view (serve/queue/exec) into the
+					// coordinator's trace.
+					f.cfg.Spans.AddAll(resp.Spans)
 				}
 			}
 			// Settle the worker's accounting here, not in the scheduler: when

@@ -81,14 +81,20 @@ type Config struct {
 	// Result it ever served. Queued and running jobs are never evicted.
 	// 0 means 1024.
 	MaxJobs int
-	// OnJobDone, when non-nil, observes every job reaching a terminal state:
-	// its kind, final state, queue wait (submission to first execution; for
-	// jobs canceled in the queue, submission to cancellation) and execution
-	// time (zero if the job never ran). Called synchronously with the job
-	// lock held — implementations must be fast, non-blocking, and must not
-	// call back into the job or manager. The service layer feeds its metrics
-	// registry through this hook, keeping jobs free of any obs dependency.
-	OnJobDone func(kind Kind, state State, wait, exec time.Duration)
+	// OnJobStart, when non-nil, observes every job beginning execution (the
+	// queued → running transition; jobs canceled in the queue never fire
+	// it). Called synchronously with the job lock held — implementations
+	// must be fast, non-blocking, and must not call back into the job or
+	// manager. The service layer emits its queue-wait trace span here.
+	OnJobStart func(s Snapshot)
+	// OnJobDone, when non-nil, observes every job reaching a terminal state
+	// with its final snapshot: queue wait is Started-Created (or
+	// Finished-Created for jobs canceled in the queue, whose Started stays
+	// zero) and execution time Finished-Started. The same calling
+	// discipline as OnJobStart applies. The service layer feeds its metrics
+	// registry and span collector through these hooks, keeping jobs free of
+	// any obs dependency.
+	OnJobDone func(s Snapshot)
 }
 
 // Manager owns the queue, the workers and the job table.
@@ -96,7 +102,8 @@ type Manager struct {
 	cache        elect.Cache
 	maxJobs      int
 	batchWorkers int
-	onJobDone    func(Kind, State, time.Duration, time.Duration)
+	onJobStart   func(Snapshot)
+	onJobDone    func(Snapshot)
 	queue        chan *Job
 	wg           sync.WaitGroup
 
@@ -124,6 +131,7 @@ func NewManager(cfg Config) *Manager {
 		cache:        cfg.Cache,
 		maxJobs:      maxJobs,
 		batchWorkers: cfg.BatchWorkers,
+		onJobStart:   cfg.OnJobStart,
 		onJobDone:    cfg.OnJobDone,
 		queue:        make(chan *Job, depth),
 		jobs:         make(map[string]*Job),
@@ -158,6 +166,13 @@ type SubmitOption func(*Job)
 // NoCache makes the job bypass the manager's result cache in both
 // directions (no lookup, no store).
 func NoCache() SubmitOption { return func(j *Job) { j.noCache = true } }
+
+// WithTraceparent attaches the submitting request's W3C traceparent header
+// value to the job. Jobs treat it as an opaque string surfaced back through
+// Snapshot.Trace — the service layer parses it to parent the queue-wait and
+// exec spans it emits from the OnJobStart/OnJobDone hooks, so this package
+// carries trace context without importing the tracing layer.
+func WithTraceparent(tp string) SubmitOption { return func(j *Job) { j.trace = tp } }
 
 // SubmitRun enqueues a single election run.
 func (m *Manager) SubmitRun(spec elect.Spec, opts []elect.Option, sopts ...SubmitOption) (*Job, error) {
@@ -202,6 +217,7 @@ func (m *Manager) submit(j *Job, sopts []SubmitOption) (*Job, error) {
 	for _, o := range sopts {
 		o(j)
 	}
+	j.onStart = m.onJobStart
 	j.onDone = m.onJobDone
 	m.mu.Lock()
 	if m.closed {
@@ -291,8 +307,10 @@ type Job struct {
 	batch        elect.Batch    // KindBatch, KindChunk
 	start, count int            // KindChunk cell range
 	noCache      bool
+	trace        string // opaque traceparent (WithTraceparent)
 
-	onDone func(Kind, State, time.Duration, time.Duration)
+	onStart func(Snapshot)
+	onDone  func(Snapshot)
 
 	cancel     chan struct{}
 	cancelOnce sync.Once
@@ -328,6 +346,9 @@ type Snapshot struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// Trace is the opaque traceparent attached at submission (empty for
+	// untraced jobs).
+	Trace string
 }
 
 func newJob(kind Kind, spec elect.Spec, total int) *Job {
@@ -367,6 +388,7 @@ func (j *Job) snapshotLocked() Snapshot {
 		ID: j.ID, Kind: j.Kind, Spec: j.spec.Name, State: j.state,
 		Done: j.done, Total: j.total, CacheHit: j.cacheHit,
 		Created: j.created, Started: j.started, Finished: j.finished,
+		Trace: j.trace,
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()
@@ -483,14 +505,7 @@ func (j *Job) finishLocked(state State, err error) {
 	j.err = err
 	j.finished = time.Now()
 	if j.onDone != nil {
-		wait := j.started.Sub(j.created)
-		var exec time.Duration
-		if j.started.IsZero() {
-			wait = j.finished.Sub(j.created) // canceled in the queue
-		} else {
-			exec = j.finished.Sub(j.started)
-		}
-		j.onDone(j.Kind, state, wait, exec)
+		j.onDone(j.snapshotLocked())
 	}
 	j.notifyLocked()
 	for id, ch := range j.subs {
@@ -510,6 +525,9 @@ func (j *Job) execute(cache elect.Cache, batchWorkers int) {
 	}
 	j.state = Running
 	j.started = time.Now()
+	if j.onStart != nil {
+		j.onStart(j.snapshotLocked())
+	}
 	j.notifyLocked()
 	j.mu.Unlock()
 

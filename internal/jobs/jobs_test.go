@@ -51,6 +51,90 @@ func TestRunJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobHooksAndTraceparent covers the observation plumbing the service
+// layer's tracing rides on: OnJobStart fires at the queued→running
+// transition, OnJobDone with the terminal snapshot, and the traceparent
+// attached at submission surfaces in both.
+func TestJobHooksAndTraceparent(t *testing.T) {
+	starts := make(chan Snapshot, 1)
+	dones := make(chan Snapshot, 1)
+	m := NewManager(Config{
+		Workers:    1,
+		OnJobStart: func(s Snapshot) { starts <- s },
+		OnJobDone:  func(s Snapshot) { dones <- s },
+	})
+	defer m.Close()
+
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	j, err := m.SubmitRun(mustSpec(t, "tradeoff"),
+		[]elect.Option{elect.WithN(64), elect.WithSeed(3)}, WithTraceparent(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+
+	started := <-starts
+	if started.State != Running || started.Trace != tp || started.Started.IsZero() {
+		t.Fatalf("OnJobStart snapshot %+v", started)
+	}
+	done := <-dones
+	if done.State != Done || done.Trace != tp || done.Kind != KindRun {
+		t.Fatalf("OnJobDone snapshot %+v", done)
+	}
+	if done.Finished.Before(done.Started) || done.Started.Before(done.Created) {
+		t.Fatalf("hook timestamps out of order: %+v", done)
+	}
+	if snap := j.Snapshot(); snap.Trace != tp {
+		t.Fatalf("Snapshot.Trace = %q, want %q", snap.Trace, tp)
+	}
+}
+
+// TestQueueCanceledJobSkipsStartHook pins that a job canceled while queued
+// reaches OnJobDone (with zero Started) without ever firing OnJobStart.
+func TestQueueCanceledJobSkipsStartHook(t *testing.T) {
+	starts := make(chan Snapshot, 4)
+	dones := make(chan Snapshot, 4)
+	m := NewManager(Config{
+		Workers:    1,
+		OnJobStart: func(s Snapshot) { starts <- s },
+		OnJobDone:  func(s Snapshot) { dones <- s },
+	})
+	defer m.Close()
+
+	// Occupy the single worker, then cancel a queued job behind it.
+	blocker, err := m.SubmitBatch(mustSpec(t, "tradeoff"),
+		elect.Batch{Ns: []int{256}, Seeds: elect.Seeds(1, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.SubmitRun(mustSpec(t, "tradeoff"), []elect.Option{elect.WithN(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	if s := wait(t, queued); s.State != Canceled {
+		t.Fatalf("queued job state %v", s.State)
+	}
+	wait(t, blocker)
+	var sawCanceled bool
+	for len(dones) > 0 {
+		if s := <-dones; s.ID == queued.ID {
+			sawCanceled = true
+			if !s.Started.IsZero() {
+				t.Fatalf("canceled-in-queue job has Started %v", s.Started)
+			}
+		}
+	}
+	if !sawCanceled {
+		t.Fatal("OnJobDone never saw the canceled job")
+	}
+	for len(starts) > 0 {
+		if s := <-starts; s.ID == queued.ID {
+			t.Fatal("OnJobStart fired for a job canceled in the queue")
+		}
+	}
+}
+
 func TestRunJobFailure(t *testing.T) {
 	m := NewManager(Config{Workers: 1})
 	defer m.Close()

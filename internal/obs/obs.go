@@ -1,9 +1,16 @@
 // Package obs is the dependency-free observability core of the serving
 // stack: atomic counters and gauges, fixed-bucket latency histograms with
-// quantile extraction, and a labeled registry that renders the Prometheus
-// text exposition format (version 0.0.4). electd mounts a registry on
-// GET /metrics; internal/distrib and elect/client feed their own counters
-// into the sweep CLIs' fleet summaries.
+// quantile extraction, a labeled registry that renders the Prometheus
+// text exposition format (version 0.0.4), and the distributed
+// request-tracing layer (SpanContext, W3C traceparent propagation,
+// SpanCollector, Chrome trace-event export — see span.go and
+// tracecollect.go). electd mounts a registry on GET /metrics and a span
+// collector on GET /v1/traces; internal/distrib and elect/client feed
+// their own counters into the sweep CLIs' fleet summaries.
+//
+// Naming note: request tracing here is unrelated to internal/trace, which
+// records the communication graph of a clique execution for the paper's
+// lower-bound proofs. See the package doc there.
 //
 // The package deliberately sits at the substrate layer (stdlib only, no
 // imports of ours) so every layer — engines included — may depend on it.
@@ -104,8 +111,14 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 }
 
-// Observe records one value.
+// Observe records one value. NaN and negative observations are dropped:
+// either would silently corrupt the sum (NaN poisons it outright, negatives
+// skew it below the bucket counts) and with it the golden exposition, and
+// neither is a meaningful latency.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	h.total.Add(1)
 	h.sum.add(v)

@@ -43,6 +43,30 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramIgnoresInvalid pins the Observe guard: NaN would poison the
+// sum (and with it the golden exposition) and negative values would skew it
+// below the bucket counts, so both are dropped without touching any state.
+func TestHistogramIgnoresInvalid(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(math.NaN())
+	h.Observe(-1)
+	h.Observe(math.Inf(-1))
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("invalid observations recorded: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != 0 {
+			t.Fatalf("bucket %d = %d after invalid observations", i, got)
+		}
+	}
+	// Valid observations still land, and zero is valid.
+	h.Observe(0)
+	h.Observe(1.5)
+	if h.Count() != 2 || math.Abs(h.Sum()-1.5) > 1e-9 {
+		t.Fatalf("valid observations after guard: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram([]float64{1, 2, 4})
 	if got := h.Quantile(0.5); got != 0 {
@@ -86,7 +110,7 @@ func TestHistogramQuantileSpread(t *testing.T) {
 
 // TestWritePrometheusGolden pins the exposition format: HELP/TYPE headers,
 // sorted families, sorted label sets, cumulative le buckets, _sum/_count.
-// This is the byte contract GET /metrics serves and the CI metrics-smoke
+// This is the byte contract GET /metrics serves and the CI obs-smoke
 // job greps.
 func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()

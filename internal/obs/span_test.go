@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip drives the encode/parse pair through a
+// fuzz-style table: every minted context must survive the header round
+// trip, and every malformed header must be rejected.
+func TestTraceparentRoundTrip(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		sc := NewSpanContext()
+		if !sc.Valid() {
+			t.Fatalf("NewSpanContext minted invalid context %+v", sc)
+		}
+		hdr := sc.Traceparent()
+		got, ok := ParseTraceparent(hdr)
+		if !ok || got != sc {
+			t.Fatalf("round trip %q: got %+v ok=%v, want %+v", hdr, got, ok, sc)
+		}
+	}
+
+	sc := NewSpanContext()
+	child := sc.Child()
+	if child.Trace != sc.Trace {
+		t.Fatalf("Child changed trace id: %s -> %s", sc.Trace, child.Trace)
+	}
+	if child.Span == sc.Span || child.Span.IsZero() {
+		t.Fatalf("Child span id %s not fresh (parent %s)", child.Span, sc.Span)
+	}
+
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{valid, true},
+		// Any flags byte and future versions with trailing fields parse.
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},
+		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true},
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		// Malformed: wrong lengths, separators, hex, reserved version,
+		// zero ids, trailing garbage without a separator.
+		{"", false},
+		{"00", false},
+		{valid[:len(valid)-1], false},
+		{"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01", false},
+		{"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7_01", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x", false},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", false},
+	}
+	for _, tc := range cases {
+		if _, ok := ParseTraceparent(tc.in); ok != tc.ok {
+			t.Errorf("ParseTraceparent(%q) ok=%v, want %v", tc.in, ok, tc.ok)
+		}
+	}
+
+	if got := (SpanContext{}).Traceparent(); got != "" {
+		t.Fatalf("invalid context rendered %q, want empty", got)
+	}
+}
+
+// TestSpanJSONRoundTrip pins the span wire format: hex ids, snake_case
+// fields, omitted zero parent, and a lossless decode.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	sc, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	s := Span{
+		Trace: sc.Trace, ID: sc.Span,
+		Name: "queue.wait", Service: "electd",
+		Start: 1700000000000000, Dur: 1500,
+		Attrs: map[string]string{"job": "jabc", "kind": "chunk"},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"trace_id":"4bf92f3577b34da6a3ce929d0e0e4736","span_id":"00f067aa0ba902b7",` +
+		`"name":"queue.wait","service":"electd","start_us":1700000000000000,"dur_us":1500,` +
+		`"attrs":{"job":"jabc","kind":"chunk"}}`
+	if string(data) != want {
+		t.Fatalf("span wire form drifted:\n got %s\nwant %s", data, want)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != s.Trace || back.ID != s.ID || back.Name != s.Name ||
+		back.Start != s.Start || back.Dur != s.Dur || back.Attrs["job"] != "jabc" {
+		t.Fatalf("decode mismatch: %+v", back)
+	}
+	if strings.Contains(string(data), "parent_id") {
+		t.Fatalf("zero parent should be omitted: %s", data)
+	}
+}
+
+// TestSpanContextPropagation checks the context plumbing used between the
+// HTTP middleware and the handlers.
+func TestSpanContextPropagation(t *testing.T) {
+	if got := SpanFromContext(t.Context()); got.Valid() {
+		t.Fatalf("empty context yielded %+v", got)
+	}
+	sc := NewSpanContext()
+	ctx := ContextWithSpan(t.Context(), sc)
+	if got := SpanFromContext(ctx); got != sc {
+		t.Fatalf("got %+v, want %+v", got, sc)
+	}
+}

@@ -1,0 +1,401 @@
+package obs
+
+// SpanCollector: a lock-sharded, bounded in-memory span store, plus the
+// deterministic Chrome trace-event exporter. One collector sits in every
+// electd daemon (backing GET /v1/traces) and one in a tracing sweep client
+// (cmd/sweep -trace-out), where coordinator spans and the worker spans
+// returned in chunk responses merge into a single fleet-wide trace.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// spanCtxKey carries a SpanContext through a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sc; SpanFromContext retrieves
+// it. This is how the current span identity flows within a process (HTTP
+// middleware → handler → client call) between the header hops.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the span context carried by ctx, or the zero
+// (invalid) context when none is.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// spanShards is the collector's lock-shard count. Spans shard by trace id,
+// so one trace's spans live in one shard and Trace() takes a single lock.
+const spanShards = 16
+
+// entry is one stored span plus its collector-wide insertion sequence (the
+// recency order TraceIDs and Spans report).
+type entry struct {
+	seq  uint64
+	span Span
+}
+
+type spanShard struct {
+	mu   sync.Mutex
+	buf  []entry // ring: slot = writes % cap
+	next int     // write cursor
+	full bool
+}
+
+// SpanCollector stores completed spans in a bounded ring per shard: memory
+// is fixed at construction, the newest spans win, and the oldest fall off
+// silently. All methods are safe for concurrent use, and every method is
+// nil-receiver-safe — a disabled tracing layer is a nil *SpanCollector, and
+// its Add costs exactly one nil check (the RoundTrace discipline; the
+// simsync allocation-budget test pins the zero-allocation claim).
+type SpanCollector struct {
+	seq    atomic.Uint64
+	shards [spanShards]spanShard
+}
+
+// DefaultSpanCapacity bounds a collector built with capacity 0: enough for
+// a few hundred fleet requests at ~4 spans each without holding a long
+// daemon's full history.
+const DefaultSpanCapacity = 4096
+
+// NewSpanCollector builds a collector holding at most capacity spans
+// (rounded up to a multiple of the shard count; <= 0 means
+// DefaultSpanCapacity).
+func NewSpanCollector(capacity int) *SpanCollector {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	per := (capacity + spanShards - 1) / spanShards
+	c := &SpanCollector{}
+	for i := range c.shards {
+		c.shards[i].buf = make([]entry, 0, per)
+	}
+	return c
+}
+
+// Add stores one completed span. A nil collector ignores the call.
+func (c *SpanCollector) Add(s Span) {
+	if c == nil {
+		return
+	}
+	sh := &c.shards[s.Trace[15]%spanShards]
+	seq := c.seq.Add(1)
+	sh.mu.Lock()
+	if len(sh.buf) < cap(sh.buf) {
+		sh.buf = append(sh.buf, entry{seq, s})
+	} else {
+		sh.buf[sh.next] = entry{seq, s}
+		sh.full = true
+	}
+	sh.next = (sh.next + 1) % cap(sh.buf)
+	sh.mu.Unlock()
+}
+
+// AddAll stores a batch of spans (worker spans merged from a chunk
+// response). A nil collector ignores the call.
+func (c *SpanCollector) AddAll(spans []Span) {
+	if c == nil {
+		return
+	}
+	for _, s := range spans {
+		c.Add(s)
+	}
+}
+
+// Len reports how many spans are currently held.
+func (c *SpanCollector) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buf)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// snapshot copies every held entry.
+func (c *SpanCollector) snapshot() []entry {
+	var out []entry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.buf...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Spans returns every held span, newest-first by insertion order.
+func (c *SpanCollector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	es := c.snapshot()
+	sort.Slice(es, func(i, j int) bool { return es[i].seq > es[j].seq })
+	out := make([]Span, len(es))
+	for i, e := range es {
+		out[i] = e.span
+	}
+	return out
+}
+
+// Trace returns every held span of one trace, in insertion order (oldest
+// first — roughly causal, since parents are recorded after their remote
+// children but local emitters record in completion order).
+func (c *SpanCollector) Trace(id TraceID) []Span {
+	if c == nil {
+		return nil
+	}
+	sh := &c.shards[id[15]%spanShards]
+	sh.mu.Lock()
+	es := make([]entry, 0, 8)
+	for _, e := range sh.buf {
+		if e.span.Trace == id {
+			es = append(es, e)
+		}
+	}
+	sh.mu.Unlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].seq < es[j].seq })
+	out := make([]Span, len(es))
+	for i, e := range es {
+		out[i] = e.span
+	}
+	return out
+}
+
+// TraceIDs returns the distinct trace ids held, newest-first by the
+// insertion order of each trace's most recent span, capped at limit
+// (<= 0 means no cap).
+func (c *SpanCollector) TraceIDs(limit int) []TraceID {
+	if c == nil {
+		return nil
+	}
+	es := c.snapshot()
+	sort.Slice(es, func(i, j int) bool { return es[i].seq > es[j].seq })
+	seen := make(map[TraceID]struct{}, len(es))
+	var out []TraceID
+	for _, e := range es {
+		if _, dup := seen[e.span.Trace]; dup {
+			continue
+		}
+		seen[e.span.Trace] = struct{}{}
+		out = append(out, e.span.Trace)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON (the
+// "JSON Object Format": a traceEvents array of complete "X" events plus
+// process-name metadata), loadable in about:tracing and Perfetto. Output is
+// a pure function of the spans: services map to pids in sorted-name order,
+// spans sort by (start, trace, span id), and each span is packed into the
+// lowest non-overlapping lane (tid) of its service, so the export is
+// golden-testable byte for byte.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Trace != b.Trace {
+			return a.Trace.String() < b.Trace.String()
+		}
+		return a.ID.String() < b.ID.String()
+	})
+
+	// Service → pid, in sorted service-name order.
+	services := make([]string, 0, 4)
+	seen := make(map[string]int)
+	for _, s := range sorted {
+		if _, ok := seen[s.Service]; !ok {
+			seen[s.Service] = 0
+			services = append(services, s.Service)
+		}
+	}
+	sort.Strings(services)
+	pid := make(map[string]int, len(services))
+	for i, svc := range services {
+		pid[svc] = i + 1
+	}
+
+	// Lane packing per service: each span takes the lowest tid whose last
+	// span ended at or before this span starts.
+	laneEnd := make(map[string][]int64, len(services))
+	tid := make([]int, len(sorted))
+	for i, s := range sorted {
+		lanes := laneEnd[s.Service]
+		placed := false
+		for l, end := range lanes {
+			if end <= s.Start {
+				lanes[l] = s.End()
+				tid[i] = l + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes = append(lanes, s.End())
+			tid[i] = len(lanes)
+		}
+		laneEnd[s.Service] = lanes
+	}
+
+	type event struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  *int64         `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	events := make([]event, 0, len(sorted)+len(services))
+	for _, svc := range services {
+		events = append(events, event{
+			Name: "process_name", Ph: "M", Pid: pid[svc], Tid: 0,
+			Args: map[string]any{"name": svc},
+		})
+	}
+	for i, s := range sorted {
+		dur := s.Dur
+		args := map[string]any{
+			"trace_id": s.Trace.String(),
+			"span_id":  s.ID.String(),
+		}
+		if !s.Parent.IsZero() {
+			args["parent_id"] = s.Parent.String()
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		events = append(events, event{
+			Name: s.Name, Cat: s.Service, Ph: "X", Ts: s.Start, Dur: &dur,
+			Pid: pid[s.Service], Tid: tid[i], Args: args,
+		})
+	}
+
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	for i, ev := range events {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		data, err := json.Marshal(ev) // map keys sort, so args are deterministic
+		if err != nil {
+			return err
+		}
+		b.Write(data)
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Waterfall renders an ASCII timeline of root and its descendants among
+// spans: one line per span, indented by tree depth, with a bar scaled to
+// the subtree's wall-clock window and the duration and attributes printed
+// after it. Each line is prefixed with prefix (the sweep CLIs pass "# " to
+// match their comment footers). Children sort by start time, then span id.
+func Waterfall(w io.Writer, prefix string, root Span, spans []Span, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	children := make(map[SpanID][]Span)
+	for _, s := range spans {
+		if !s.Parent.IsZero() {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Start != cs[j].Start {
+				return cs[i].Start < cs[j].Start
+			}
+			return cs[i].ID.String() < cs[j].ID.String()
+		})
+	}
+	window := root.Dur
+	if window <= 0 {
+		window = 1
+	}
+	var walk func(s Span, depth int)
+	walk = func(s Span, depth int) {
+		off := int((s.Start - root.Start) * int64(width) / window)
+		bar := int(s.Dur * int64(width) / window)
+		if off < 0 {
+			off = 0
+		}
+		if off > width {
+			off = width
+		}
+		if bar < 1 {
+			bar = 1
+		}
+		if off+bar > width {
+			bar = width - off
+			if bar < 1 {
+				bar, off = 1, width-1
+			}
+		}
+		line := strings.Repeat(" ", off) + strings.Repeat("█", bar) +
+			strings.Repeat(" ", width-off-bar)
+		label := strings.Repeat("  ", depth) + s.Service + " " + s.Name
+		fmt.Fprintf(w, "%s%-*s |%s| %s%s\n", prefix, 34, label, line,
+			fmtMicros(s.Dur), fmtAttrs(s.Attrs))
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+}
+
+// fmtMicros renders a microsecond duration compactly (µs/ms/s).
+func fmtMicros(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// fmtAttrs renders attributes as " k=v" pairs in sorted key order.
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(" ")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(attrs[k])
+	}
+	return b.String()
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"runtime"
 	"time"
 
 	"cliquelect/internal/jobs"
@@ -10,7 +11,7 @@ import (
 
 // Version identifies the service build on /healthz and in the
 // electd_build_info metric. Bump it when the API surface changes.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // metrics is the daemon's instrumentation: one obs.Registry populated by the
 // request middleware, the jobs.Config.OnJobDone hook and a handful of
@@ -60,6 +61,28 @@ func newMetrics(s *Server) *metrics {
 	r.CounterVec("electd_build_info",
 		"Constant 1, labeled with the service version.", "version").
 		With(Version).Inc()
+	// Go runtime health, sampled at scrape time. ReadMemStats briefly
+	// stops the world, but only scrapes pay for it.
+	r.GaugeFunc("go_goroutines",
+		"Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_total",
+		"Completed garbage-collection cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.GaugeFunc("process_uptime_seconds",
+		"Seconds since the daemon process started.",
+		func() float64 { return time.Since(s.start).Seconds() })
 	if s.cfg.Cache != nil {
 		cache := s.cfg.Cache
 		r.CounterFunc("electd_cache_hits_total",
@@ -84,14 +107,20 @@ func newMetrics(s *Server) *metrics {
 	return m
 }
 
-// onJobDone is the jobs.Config.OnJobDone hook. It runs under the job lock,
-// so it only touches lock-free atomics (vector lookups allocate at most once
-// per label set).
-func (m *metrics) onJobDone(kind jobs.Kind, state jobs.State, wait, exec time.Duration) {
-	m.jobsDone.With(string(kind), string(state)).Inc()
-	m.jobWait.With(string(kind)).Observe(wait.Seconds())
-	if exec > 0 {
-		m.jobExec.With(string(kind)).Observe(exec.Seconds())
+// onJobDone feeds the job-outcome metrics from the terminal snapshot. Queue
+// wait is Started−Created — or Finished−Created for jobs canceled while
+// still queued, whose Started stays zero — and execution is
+// Finished−Started. It runs under the job lock, so it only touches
+// lock-free atomics (vector lookups allocate at most once per label set).
+func (m *metrics) onJobDone(snap jobs.Snapshot) {
+	m.jobsDone.With(string(snap.Kind), string(snap.State)).Inc()
+	wait := snap.Started.Sub(snap.Created)
+	if snap.Started.IsZero() {
+		wait = snap.Finished.Sub(snap.Created)
+	}
+	m.jobWait.With(string(snap.Kind)).Observe(wait.Seconds())
+	if !snap.Started.IsZero() {
+		m.jobExec.With(string(snap.Kind)).Observe(snap.Finished.Sub(snap.Started).Seconds())
 	}
 }
 

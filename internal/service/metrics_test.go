@@ -138,8 +138,8 @@ func TestStructuredRequestLog(t *testing.T) {
 	}
 
 	want := []*regexp.Regexp{
-		regexp.MustCompile(`^method=GET route=/healthz path=/healthz status=200 dur=\S+$`),
-		regexp.MustCompile(`^method=POST route=/v1/run path=/v1/run status=200 dur=\S+ job=j[0-9a-f]{12}$`),
+		regexp.MustCompile(`^method=GET route=/healthz path=/healthz status=200 dur=\S+ trace=[0-9a-f]{32}$`),
+		regexp.MustCompile(`^method=POST route=/v1/run path=/v1/run status=200 dur=\S+ job=j[0-9a-f]{12} trace=[0-9a-f]{32}$`),
 	}
 	if len(mu.lines) != len(want) {
 		t.Fatalf("logged %d lines, want %d: %q", len(mu.lines), len(want), mu.lines)
@@ -148,5 +148,33 @@ func TestStructuredRequestLog(t *testing.T) {
 		if !re.MatchString(mu.lines[i]) {
 			t.Errorf("log line %d = %q, want match for %s", i, mu.lines[i], re)
 		}
+	}
+}
+
+// TestRuntimeMetrics asserts the Go runtime families are exposed with sane
+// values — a live process has goroutines and a heap.
+func TestRuntimeMetrics(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	body := scrape(t, ts.URL)
+	for _, family := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_gc_total", "process_uptime_seconds",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("family %s missing from exposition", family)
+		}
+	}
+	if v := metricValue(t, body, "go_goroutines"); v < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", v)
+	}
+	if v := metricValue(t, body, "go_heap_alloc_bytes"); v <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", v)
+	}
+	if v := metricValue(t, body, "process_uptime_seconds"); v < 0 {
+		t.Errorf("process_uptime_seconds = %v, want >= 0", v)
 	}
 }

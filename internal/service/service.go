@@ -15,6 +15,17 @@
 //	GET  /v1/specs     — the protocol registry
 //	GET  /healthz      — liveness + job/cache counters
 //	GET  /metrics      — Prometheus text exposition (internal/obs registry)
+//	GET  /v1/traces    — recent request traces, newest first
+//	GET  /v1/traces/{id} — every recorded span of one trace
+//
+// Every request is traced: the middleware honors an incoming W3C
+// traceparent header (minting a fresh trace otherwise), stamps the trace id
+// on the X-Trace-Id response header and the structured request log, and
+// records handler, queue-wait and job-execution spans in a bounded
+// in-memory obs.SpanCollector. Chunk responses additionally carry their
+// worker-side spans back to the coordinator (see handleChunk), which is how
+// a fleet sweep assembles one merged trace. Tracing is observational only —
+// no engine or scheduling decision reads it.
 //
 // The wire schema lives in cliquelect/elect/client (shared with the Go
 // client); results ride the stable elect JSON codec.
@@ -49,8 +60,17 @@ type Config struct {
 	// bytes and reports its counters in /healthz.
 	Cache *resultcache.Cache
 	// Logf, when non-nil, receives one structured key=value line per API
-	// request (method, route, status, duration, job id).
+	// request (method, route, status, duration, job id, trace id).
 	Logf func(format string, args ...any)
+	// TraceSpans caps the in-memory span collector behind /v1/traces; 0
+	// means obs.DefaultSpanCapacity, negative disables tracing entirely
+	// (no X-Trace-Id, no spans, no trace routes — each request then pays
+	// one nil check).
+	TraceSpans int
+	// Instance names this daemon in span Service fields (e.g. its listen
+	// address), so merged fleet traces tell workers apart. Empty means
+	// plain "electd".
+	Instance string
 }
 
 // Server is the electd HTTP service.
@@ -59,6 +79,8 @@ type Server struct {
 	mgr   *jobs.Manager
 	mux   *http.ServeMux
 	met   *metrics
+	spans *obs.SpanCollector
+	svc   string
 	start time.Time
 }
 
@@ -66,7 +88,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
+		svc:   "electd",
 		start: time.Now(),
+	}
+	if cfg.Instance != "" {
+		s.svc = "electd:" + cfg.Instance
+	}
+	if cfg.TraceSpans >= 0 {
+		s.spans = obs.NewSpanCollector(cfg.TraceSpans)
 	}
 	s.met = newMetrics(s)
 	var cache elect.Cache
@@ -78,7 +107,8 @@ func New(cfg Config) *Server {
 		QueueDepth:   cfg.QueueDepth,
 		BatchWorkers: cfg.BatchWorkers,
 		Cache:        cache,
-		OnJobDone:    s.met.onJobDone,
+		OnJobStart:   s.onJobStart,
+		OnJobDone:    s.onJobDone,
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -88,6 +118,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/specs", s.handleSpecs)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
 	s.mux = mux
@@ -97,11 +129,29 @@ func New(cfg Config) *Server {
 // Metrics exposes the daemon's registry (cmd/electd's pprof mux and tests).
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
+// Spans exposes the daemon's span collector (nil when tracing is disabled).
+func (s *Server) Spans() *obs.SpanCollector { return s.spans }
+
 // Handler returns the API handler: the route mux behind the observation
-// middleware that feeds the request metrics and the structured request log.
+// middleware that feeds the request metrics, the structured request log and
+// the span collector. The middleware is also the trace boundary: it extracts
+// the caller's W3C traceparent (or mints a fresh trace), answers with
+// X-Trace-Id, and hands the server span context to the handlers through the
+// request context so job submissions can propagate it.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		began := time.Now()
+		var parent, sc obs.SpanContext
+		if s.spans != nil {
+			var ok bool
+			if parent, ok = obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				sc = parent.Child()
+			} else {
+				sc = obs.NewSpanContext()
+			}
+			w.Header().Set("X-Trace-Id", sc.Trace.String())
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
+		}
 		rw := &statusWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(rw, r)
 		// ServeMux stamps the matched pattern on the request itself, so the
@@ -120,11 +170,24 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.met.requests.With(route, r.Method, strconv.Itoa(code)).Inc()
 		s.met.latency.With(route).Observe(dur.Seconds())
+		if s.spans != nil {
+			s.spans.Add(obs.Span{
+				Trace: sc.Trace, ID: sc.Span, Parent: parent.Span,
+				Name: "http.request", Service: s.svc,
+				Start: began.UnixMicro(), Dur: dur.Microseconds(),
+				Attrs: map[string]string{
+					"route": route, "method": r.Method, "status": strconv.Itoa(code),
+				},
+			})
+		}
 		if s.cfg.Logf != nil {
 			line := fmt.Sprintf("method=%s route=%s path=%s status=%d dur=%s",
 				r.Method, route, r.URL.Path, code, dur.Round(time.Microsecond))
 			if id := rw.Header().Get("X-Job-Id"); id != "" {
 				line += " job=" + id
+			}
+			if s.spans != nil {
+				line += " trace=" + sc.Trace.String()
 			}
 			s.cfg.Logf("%s", line)
 		}
@@ -145,7 +208,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.submitRun(spec, opts, req.NoCache)
+	job, err := s.mgr.SubmitRun(spec, opts, submitOpts(r, req.NoCache)...)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -181,7 +244,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.submitBatch(spec, batch, req.NoCache)
+	job, err := s.mgr.SubmitBatch(spec, batch, submitOpts(r, req.NoCache)...)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -225,12 +288,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var job *jobs.Job
-	if req.NoCache {
-		job, err = s.mgr.SubmitChunk(spec, batch, req.Start, req.Count, jobs.NoCache())
-	} else {
-		job, err = s.mgr.SubmitChunk(spec, batch, req.Start, req.Count)
-	}
+	job, err := s.mgr.SubmitChunk(spec, batch, req.Start, req.Count, submitOpts(r, req.NoCache)...)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -248,7 +306,34 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results, _ := job.ChunkResult()
-	writeJSON(w, http.StatusOK, client.ChunkResponse{Results: results})
+	resp := client.ChunkResponse{Results: results}
+	if sc := obs.SpanFromContext(r.Context()); sc.Valid() {
+		resp.Spans = s.chunkSpans(r, sc, job.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// chunkSpans builds the worker-side span set a chunk response carries back
+// to the coordinator: a serve-side root under the same span id as this
+// request's http.request span (so the coordinator's tree connects through
+// it without waiting for the middleware) plus the chunk's queue-wait and
+// execution spans. The queue/exec spans are also recorded locally; the
+// serve span is not, because the middleware records the authoritative
+// http.request span under that id after the handler returns.
+func (s *Server) chunkSpans(r *http.Request, sc obs.SpanContext, snap jobs.Snapshot) []obs.Span {
+	parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	serve := obs.Span{
+		Trace: sc.Trace, ID: sc.Span, Parent: parent.Span,
+		Name: "chunk.serve", Service: s.svc,
+		Start: snap.Created.UnixMicro(),
+		Dur:   snap.Finished.Sub(snap.Created).Microseconds(),
+		Attrs: map[string]string{"job": snap.ID},
+	}
+	qw := queueWaitSpan(sc, s.svc, snap)
+	ex := execSpan(sc, s.svc, snap)
+	s.spans.Add(qw)
+	s.spans.Add(ex)
+	return []obs.Span{serve, qw, ex}
 }
 
 // validRange rejects malformed cell ranges before they consume a queue
@@ -271,18 +356,80 @@ func validRange(b elect.Batch, start, count int) error {
 	return nil
 }
 
-func (s *Server) submitRun(spec elect.Spec, opts []elect.Option, noCache bool) (*jobs.Job, error) {
+// submitOpts assembles the submit options a handler forwards to the jobs
+// manager: the cache bypass, and the request's span context as an opaque
+// traceparent so the job hooks can parent queue/exec spans correctly.
+func submitOpts(r *http.Request, noCache bool) []jobs.SubmitOption {
+	var sopts []jobs.SubmitOption
 	if noCache {
-		return s.mgr.SubmitRun(spec, opts, jobs.NoCache())
+		sopts = append(sopts, jobs.NoCache())
 	}
-	return s.mgr.SubmitRun(spec, opts)
+	if sc := obs.SpanFromContext(r.Context()); sc.Valid() {
+		sopts = append(sopts, jobs.WithTraceparent(sc.Traceparent()))
+	}
+	return sopts
 }
 
-func (s *Server) submitBatch(spec elect.Spec, batch elect.Batch, noCache bool) (*jobs.Job, error) {
-	if noCache {
-		return s.mgr.SubmitBatch(spec, batch, jobs.NoCache())
+// onJobStart is the jobs.Config.OnJobStart hook. The queued→running edge is
+// when the queue wait becomes known, so the queue.wait span is emitted here.
+// Chunk jobs are skipped: handleChunk rebuilds their spans after completion
+// so the identical set can also ride back in the chunk response.
+func (s *Server) onJobStart(snap jobs.Snapshot) {
+	if snap.Kind == jobs.KindChunk {
+		return
 	}
-	return s.mgr.SubmitBatch(spec, batch)
+	if parent, ok := obs.ParseTraceparent(snap.Trace); ok {
+		s.spans.Add(queueWaitSpan(parent, s.svc, snap))
+	}
+}
+
+// onJobDone is the jobs.Config.OnJobDone hook: metrics for every job, plus
+// the execution span for traced run/batch jobs. A job canceled while still
+// queued never fired OnJobStart, so its whole lifetime is reported as queue
+// wait instead.
+func (s *Server) onJobDone(snap jobs.Snapshot) {
+	s.met.onJobDone(snap)
+	if snap.Kind == jobs.KindChunk {
+		return
+	}
+	parent, ok := obs.ParseTraceparent(snap.Trace)
+	if !ok {
+		return
+	}
+	if snap.Started.IsZero() {
+		s.spans.Add(queueWaitSpan(parent, s.svc, snap))
+		return
+	}
+	s.spans.Add(execSpan(parent, s.svc, snap))
+}
+
+// queueWaitSpan covers submission to execution start — or to the terminal
+// state for jobs canceled in the queue, whose Started stays zero.
+func queueWaitSpan(parent obs.SpanContext, svc string, snap jobs.Snapshot) obs.Span {
+	end := snap.Started
+	if end.IsZero() {
+		end = snap.Finished
+	}
+	return obs.Span{
+		Trace: parent.Trace, ID: parent.Child().Span, Parent: parent.Span,
+		Name: "queue.wait", Service: svc,
+		Start: snap.Created.UnixMicro(),
+		Dur:   end.Sub(snap.Created).Microseconds(),
+		Attrs: map[string]string{"job": snap.ID, "kind": string(snap.Kind)},
+	}
+}
+
+// execSpan covers a job's running phase.
+func execSpan(parent obs.SpanContext, svc string, snap jobs.Snapshot) obs.Span {
+	return obs.Span{
+		Trace: parent.Trace, ID: parent.Child().Span, Parent: parent.Span,
+		Name: "job.exec", Service: svc,
+		Start: snap.Started.UnixMicro(),
+		Dur:   snap.Finished.Sub(snap.Started).Microseconds(),
+		Attrs: map[string]string{
+			"job": snap.ID, "kind": string(snap.Kind), "state": string(snap.State),
+		},
+	}
 }
 
 // await blocks until the job is terminal or the caller goes away (then the
@@ -399,6 +546,59 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraces lists recent traces, newest first, capped at 100. Each entry
+// summarizes the trace by its root span (the earliest span whose parent is
+// unknown to this daemon) and the overall time window.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	const maxTraces = 100
+	resp := client.TracesResponse{Traces: []client.TraceSummary{}}
+	for _, id := range s.spans.TraceIDs(maxTraces) {
+		spans := s.spans.Trace(id)
+		if len(spans) == 0 {
+			continue // evicted between TraceIDs and Trace
+		}
+		known := make(map[obs.SpanID]bool, len(spans))
+		for _, sp := range spans {
+			known[sp.ID] = true
+		}
+		root, first, last := spans[0], spans[0].Start, spans[0].End()
+		for _, sp := range spans {
+			if sp.Start < first {
+				first = sp.Start
+			}
+			if sp.End() > last {
+				last = sp.End()
+			}
+			orphan := sp.Parent.IsZero() || !known[sp.Parent]
+			rootOrphan := root.Parent.IsZero() || !known[root.Parent]
+			if orphan && (!rootOrphan || sp.Start < root.Start) {
+				root = sp
+			}
+		}
+		resp.Traces = append(resp.Traces, client.TraceSummary{
+			ID: id.String(), Root: root.Name, Service: root.Service,
+			Spans: len(spans), StartUS: first, DurUS: last - first,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace returns every span this daemon holds for one trace, in
+// insertion order.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, ok := obs.ParseTraceID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q", r.PathValue("id")))
+		return
+	}
+	spans := s.spans.Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, client.TraceResponse{ID: id.String(), Spans: spans})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cliquelect/elect/client"
+	"cliquelect/internal/jobs"
+	"cliquelect/internal/obs"
+)
+
+// newTraceDaemon is newTestDaemon plus the raw base URL, for tests that
+// need to set or read HTTP headers directly.
+func newTraceDaemon(t *testing.T, cfg Config) (*client.Client, *Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return client.New(ts.URL), srv, ts.URL
+}
+
+// TestTraceEndToEnd drives one traced run through the API and asserts the
+// contract the CI obs-smoke job greps: the response carries X-Trace-Id, and
+// GET /v1/traces/{id} returns a span tree with the handler at the root and
+// queue.wait/job.exec as its children.
+func TestTraceEndToEnd(t *testing.T) {
+	c, _, url := newTraceDaemon(t, Config{})
+	sc := obs.NewSpanContext()
+
+	body, _ := json.Marshal(client.RunRequest{Spec: "tradeoff", N: 64, Seed: 5})
+	req, err := http.NewRequestWithContext(ctx(t), http.MethodPost, url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", sc.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run: %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != sc.Trace.String() {
+		t.Fatalf("X-Trace-Id = %q, want the caller's trace %q", got, sc.Trace)
+	}
+
+	tr, err := c.Trace(ctx(t), sc.Trace.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.Span{}
+	for _, sp := range tr.Spans {
+		if sp.Trace.String() != sc.Trace.String() {
+			t.Fatalf("span %s carries trace %s, want %s", sp.Name, sp.Trace, sc.Trace)
+		}
+		byName[sp.Name] = sp
+	}
+	handler, ok := byName["http.request"]
+	if !ok {
+		t.Fatalf("no http.request span in %v", names(tr.Spans))
+	}
+	if handler.Parent != sc.Span {
+		t.Fatalf("handler parent %s, want the caller's span %s", handler.Parent, sc.Span)
+	}
+	if handler.Attrs["route"] != "/v1/run" || handler.Attrs["status"] != "200" {
+		t.Fatalf("handler attrs %v", handler.Attrs)
+	}
+	for _, name := range []string{"queue.wait", "job.exec"} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("no %s span in %v", name, names(tr.Spans))
+		}
+		if sp.Parent != handler.ID {
+			t.Fatalf("%s parent %s, want handler span %s", name, sp.Parent, handler.ID)
+		}
+		if sp.Attrs["kind"] != "run" {
+			t.Fatalf("%s attrs %v", name, sp.Attrs)
+		}
+	}
+
+	// The trace listing includes it, newest-first, rooted at the handler.
+	traces, err := c.Traces(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range traces {
+		if s.ID == sc.Trace.String() {
+			found = true
+			if s.Root != "http.request" || s.Spans < 3 {
+				t.Fatalf("trace summary %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s missing from listing %+v", sc.Trace, traces)
+	}
+}
+
+// TestChunkResponseCarriesSpans pins the coordinator-merge contract: a
+// traced chunk answers with its worker-side serve/queue/exec spans, the
+// serve span joined to the request's trace under the caller's span id.
+func TestChunkResponseCarriesSpans(t *testing.T) {
+	_, _, url := newTraceDaemon(t, Config{})
+	sc := obs.NewSpanContext()
+
+	body, _ := json.Marshal(client.ChunkRequest{
+		Spec: "tradeoff", Ns: []int{32, 64}, Seeds: []uint64{1, 2}, Start: 1, Count: 2,
+	})
+	req, err := http.NewRequestWithContext(ctx(t), http.MethodPost, url+"/v1/chunk", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", sc.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/chunk: %s", resp.Status)
+	}
+	var out client.ChunkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("chunk returned %d results, want 2", len(out.Results))
+	}
+	if len(out.Spans) != 3 {
+		t.Fatalf("chunk returned %d spans, want 3: %v", len(out.Spans), names(out.Spans))
+	}
+	got := map[string]obs.Span{}
+	for _, sp := range out.Spans {
+		if sp.Trace.String() != sc.Trace.String() {
+			t.Fatalf("span %s carries trace %s, want %s", sp.Name, sp.Trace, sc.Trace)
+		}
+		got[sp.Name] = sp
+	}
+	serve, ok := got["chunk.serve"]
+	if !ok {
+		t.Fatalf("no chunk.serve span in %v", names(out.Spans))
+	}
+	if serve.Parent != sc.Span {
+		t.Fatalf("chunk.serve parent %s, want caller span %s", serve.Parent, sc.Span)
+	}
+	for _, name := range []string{"queue.wait", "job.exec"} {
+		sp, ok := got[name]
+		if !ok {
+			t.Fatalf("no %s span in %v", name, names(out.Spans))
+		}
+		if sp.Parent != serve.ID {
+			t.Fatalf("%s parent %s, want chunk.serve id %s", name, sp.Parent, serve.ID)
+		}
+		if sp.Attrs["kind"] != string(jobs.KindChunk) {
+			t.Fatalf("%s attrs %v", name, sp.Attrs)
+		}
+	}
+}
+
+// TestTracingDisabled pins the opt-out: with a negative TraceSpans budget
+// there is no X-Trace-Id, no trace= log key, and the trace routes are empty.
+func TestTracingDisabled(t *testing.T) {
+	var lines []string
+	c, srv, url := newTraceDaemon(t, Config{
+		TraceSpans: -1,
+		Logf: func(format string, args ...any) {
+			lines = append(lines, fmt.Sprintf(format, args...))
+		},
+	})
+	if srv.Spans() != nil {
+		t.Fatal("disabled daemon still built a collector")
+	}
+	if _, err := c.Run(ctx(t), client.RunRequest{Spec: "tradeoff", N: 32}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("disabled daemon answered X-Trace-Id %q", got)
+	}
+	traces, err := c.Traces(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 0 {
+		t.Fatalf("disabled daemon listed traces %+v", traces)
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "trace=") {
+			t.Fatalf("disabled daemon logged %q", l)
+		}
+	}
+}
+
+// TestTraceNotFound covers the error paths of GET /v1/traces/{id}.
+func TestTraceNotFound(t *testing.T) {
+	c, _, _ := newTraceDaemon(t, Config{})
+	if _, err := c.Trace(ctx(t), "4bf92f3577b34da6a3ce929d0e0e4736"); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("unknown trace: %v", err)
+	}
+	if _, err := c.Trace(ctx(t), "nothex"); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("malformed trace id: %v", err)
+	}
+}
+
+func isStatus(err error, code int) bool {
+	api, ok := err.(*client.APIError)
+	return ok && api.StatusCode == code
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}

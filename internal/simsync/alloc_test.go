@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cliquelect/internal/ids"
+	"cliquelect/internal/obs"
 	"cliquelect/internal/proto"
 	"cliquelect/internal/xrand"
 )
@@ -58,6 +59,11 @@ func (p *chatty) Halted() bool             { return p.halted }
 // Config.Rounds is nil here, so this also pins the disabled round-trace
 // probe's cost at zero allocations: its nil guards must stay branches, never
 // interface conversions or closures that escape.
+//
+// The closure also probes a nil *obs.SpanCollector once per simulated round,
+// mirroring what a caller with request tracing disabled pays: Add on a nil
+// collector must stay a single branch, never an allocation — so the tracing
+// subsystem rides inside the same budget the round loop is held to.
 func TestRoundLoopAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; budget is enforced in the non-race build")
@@ -70,9 +76,13 @@ func TestRoundLoopAllocBudget(t *testing.T) {
 	if _, err := Run(cfg, factory); err != nil {
 		t.Fatal(err)
 	}
+	var disabled *obs.SpanCollector // tracing off: every probe is one nil check
 	allocs := testing.AllocsPerRun(10, func() {
 		if _, err := Run(cfg, factory); err != nil {
 			t.Fatal(err)
+		}
+		for r := 0; r < 12; r++ {
+			disabled.Add(obs.Span{Name: "round"})
 		}
 	})
 	// Setup costs ~2n+20 allocations (n protocol instances, each growing

@@ -9,6 +9,12 @@
 // union-find over weakly connected components, exposing exactly the
 // quantities the proofs use: component sizes, per-round growth, capacity, and
 // port-open counts.
+//
+// Naming note: despite the name, this is NOT request tracing. The
+// distributed request-tracing layer of the serving stack — spans,
+// traceparent propagation, the /v1/traces endpoints — lives in
+// internal/obs (span.go / tracecollect.go). This package is a paper
+// instrument; that one is a serving instrument. Neither imports the other.
 package trace
 
 // Recorder accumulates communication-graph state for an n-node clique.
