@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cliquelect/elect"
+	"cliquelect/elect/client"
+)
+
+// reservePort grabs an ephemeral port and releases it, so three daemons can
+// learn each other's addresses from a static -peers list before any of them
+// is up. The tiny reuse race is acceptable in tests.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startHADaemon boots one fleet member on a fixed address and returns a
+// client plus an idempotent kill switch (tests kill coordinators mid-run;
+// Cleanup kills whoever survives).
+func startHADaemon(t *testing.T, addr string, args ...string) (*client.Client, func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(append([]string{"-addr", addr, "-quiet"}, args...),
+			io.Discard, ready, stop)
+	}()
+	select {
+	case <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon %s exited early: %v", addr, err)
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon %s never came up", addr)
+	}
+	var once sync.Once
+	kill := func() {
+		once.Do(func() {
+			close(stop)
+			select {
+			case <-errCh:
+			case <-time.After(30 * time.Second):
+				t.Errorf("daemon %s never shut down", addr)
+			}
+		})
+	}
+	t.Cleanup(kill)
+	return client.New("http://" + addr), kill
+}
+
+// TestElectdHAFleet is the chaos e2e: three daemons elect a coordinator
+// among themselves, a fleet batch merged across the survivors is
+// byte-identical to a local run, and when the coordinator is killed
+// mid-grid a successor holds the lease within one TTL and serves the same
+// bytes again.
+func TestElectdHAFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon election on wall-clock leases")
+	}
+	const ttl = 6 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	addrs := []string{reservePort(t), reservePort(t), reservePort(t)}
+	var peerURLs []string
+	for _, a := range addrs {
+		peerURLs = append(peerURLs, "http://"+a)
+	}
+	peers := strings.Join(peerURLs, ",")
+
+	clients := make(map[string]*client.Client, 3)
+	kills := make(map[string]func(), 3)
+	for _, a := range addrs {
+		c, kill := startHADaemon(t, a, "-peers", peers, "-lease-ttl", ttl.String())
+		clients["http://"+a] = c
+		kills["http://"+a] = kill
+	}
+
+	// Bootstrap: every daemon converges on the same coordinator.
+	coord := awaitCoordinator(t, ctx, clients, "", 5*ttl)
+	h, err := clients[coord].Health(ctx)
+	if err != nil || h.Role != "coordinator" || h.Epoch == 0 {
+		t.Fatalf("coordinator healthz: %+v err=%v", h, err)
+	}
+	epochBefore := h.Epoch
+
+	// The reference: the same grid computed in-process.
+	spec, err := elect.Lookup("tradeoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := elect.Batch{Ns: []int{64, 128}, Seeds: elect.Seeds(1, 4)}
+	local, err := elect.RunMany(spec, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localBytes, err := elect.EncodeBatchResult(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := client.BatchRequest{
+		Spec: "tradeoff", Ns: batch.Ns, SeedBase: 1, SeedCount: 4, Fleet: true,
+	}
+	// A worker must refuse the fleet batch and name the coordinator.
+	for url, c := range clients {
+		if url == coord {
+			continue
+		}
+		if _, err := c.Batch(ctx, req); err == nil {
+			t.Fatalf("worker %s accepted a fleet batch", url)
+		}
+		break
+	}
+	// The coordinator shards it over the fleet; merged == local, byte for byte.
+	resp, err := clients[coord].Batch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := elect.EncodeBatchResult(resp.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localBytes, gotBytes) {
+		t.Fatalf("fleet batch not byte-identical to local:\n %s\n %s", localBytes, gotBytes)
+	}
+
+	// Kill the coordinator mid-grid: put a bigger async fleet batch in
+	// flight on it, give the shards a moment to start, then pull the plug.
+	if _, err := clients[coord].SubmitBatch(ctx, client.BatchRequest{
+		Spec: "tradeoff", Ns: []int{256, 512}, SeedBase: 1, SeedCount: 8, Fleet: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	killed := coord
+	kills[killed]()
+	killedAt := time.Now()
+	delete(clients, killed)
+
+	// A successor holds the lease within one TTL.
+	coord = awaitCoordinator(t, ctx, clients, killed, ttl)
+	t.Logf("re-election took %s (ttl %s)", time.Since(killedAt).Round(time.Millisecond), ttl)
+	h, err = clients[coord].Health(ctx)
+	if err != nil || h.Role != "coordinator" {
+		t.Fatalf("successor healthz: %+v err=%v", h, err)
+	}
+	if h.Epoch <= epochBefore {
+		t.Fatalf("epoch did not advance across the crash: %d -> %d", epochBefore, h.Epoch)
+	}
+
+	// The successor's fleet is down a member, but the merged result must
+	// not change by a byte.
+	resp, err = clients[coord].Batch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err = elect.EncodeBatchResult(resp.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localBytes, gotBytes) {
+		t.Fatal("post-crash fleet batch not byte-identical to local")
+	}
+}
+
+// awaitCoordinator polls every live daemon's /v1/coordinator until they all
+// agree on one lease holder (different from `not`, the freshly killed one)
+// and returns it.
+func awaitCoordinator(t *testing.T, ctx context.Context, clients map[string]*client.Client, not string, within time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	var last string
+	for time.Now().Before(deadline) {
+		agreed := ""
+		ok := true
+		for url, c := range clients {
+			co, err := c.Coordinator(ctx)
+			if err != nil || co.Coordinator == "" || co.Coordinator == not {
+				ok = false
+				break
+			}
+			if agreed == "" {
+				agreed = co.Coordinator
+			} else if co.Coordinator != agreed {
+				ok = false
+				break
+			}
+			last = fmt.Sprintf("%s sees %q", url, co.Coordinator)
+		}
+		if ok && agreed != "" {
+			c, found := clients[agreed]
+			if !found {
+				t.Fatalf("coordinator %q is not a fleet member", agreed)
+			}
+			// Agreement on the vote can land an instant before the winner
+			// confirms its quorum; the lease is held only once the holder
+			// itself reports the coordinator role.
+			if h, err := c.Health(ctx); err == nil && h.Role == "coordinator" {
+				return agreed
+			}
+			last = fmt.Sprintf("%s agreed on but not yet leading", agreed)
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("no agreed coordinator within %s (last: %s)", within, last)
+	return ""
+}

@@ -16,6 +16,13 @@
 //	curl -s localhost:8090/v1/traces
 //	curl -s localhost:8090/v1/traces/<trace-id>   # id from any X-Trace-Id header
 //
+// With -peers, daemons form a self-electing HA fleet (internal/control):
+// they elect a dispatch coordinator among themselves using the public elect
+// API, the coordinator accepts {"fleet":true} batches and shards them over
+// the survivors with fencing tokens, and any daemon answers
+// GET /v1/coordinator with who currently leads. See the "High availability"
+// section of the README for a three-daemon walkthrough.
+//
 // See the "Serving elections" section of the README for the full API, and
 // cliquelect/elect/client for the Go client.
 package main
@@ -32,9 +39,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cliquelect/internal/control"
+	"cliquelect/internal/distrib"
 	"cliquelect/internal/resultcache"
 	"cliquelect/internal/service"
 )
@@ -63,6 +73,9 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceSpans   = fs.Int("trace-spans", 0, "request-trace span buffer capacity behind /v1/traces (0 = default, negative = disable tracing)")
 		instance     = fs.String("instance", "", "daemon name in trace spans, so merged fleet traces tell workers apart (empty = the listen address)")
+		peers        = fs.String("peers", "", "comma-separated fleet peer URLs (self included); enables the self-electing control plane")
+		leaseTTL     = fs.Duration("lease-ttl", control.DefaultLeaseTTL, "coordinator lease lifetime; a dead coordinator is replaced within one TTL")
+		advertise    = fs.String("advertise", "", "this daemon's URL as listed in -peers (empty = the bound listen address)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -88,13 +101,72 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		cfg.Logf = logger.Printf
 	}
 
-	srv := service.New(cfg)
-	defer srv.Close()
-
+	// Listen before assembling the control plane: the daemon's advertised
+	// URL defaults to the bound address, which :0 test fleets only know
+	// after the listener is up.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	defer ln.Close()
+
+	var node *control.Node
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		self = distrib.NormalizeURL(self)
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if u := distrib.NormalizeURL(p); u != "" {
+				peerList = append(peerList, u)
+			}
+		}
+		node, err = control.New(control.Config{
+			Self:      self,
+			Peers:     peerList,
+			LeaseTTL:  *leaseTTL,
+			Transport: control.NewHTTPTransport(),
+			Logf:      logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Control = node
+		// The dispatch fleet is the peer set minus self: a coordinator
+		// shards fleet batches over the other daemons (falling back to local
+		// execution when none survive), never through its own bounded worker
+		// pool. Its fencing token tracks the node's election epoch.
+		var others []string
+		for _, p := range node.Peers() {
+			if p != self {
+				others = append(others, p)
+			}
+		}
+		if len(others) > 0 {
+			fleet, err := distrib.New(distrib.Config{
+				Workers: others,
+				Fence:   node.Token,
+				Logf:    logger.Printf,
+			})
+			if err != nil {
+				return err
+			}
+			cfg.Fleet = fleet
+		}
+	}
+
+	srv := service.New(cfg)
+	defer srv.Close()
+	if node != nil {
+		node.SetSpans(srv.Spans())
+		ctlStop := make(chan struct{})
+		defer close(ctlStop)
+		go node.Run(ctlStop)
+		logger.Printf("control plane up: self=%s peers=%d lease-ttl=%s", node.Self(), len(node.Peers()), node.LeaseTTL())
+	}
+
 	logger.Printf("serving on %s (cache: %s)", ln.Addr(), cacheDesc(*noCache, *cacheDir))
 	if ready != nil {
 		ready <- ln.Addr().String()

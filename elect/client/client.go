@@ -150,15 +150,22 @@ func New(base string, opts ...ClientOption) *Client {
 	return c
 }
 
-// APIError is a non-2xx daemon answer.
+// APIError is a non-2xx daemon answer. Fencing rejections (409) carry the
+// daemon's current Epoch and believed Coordinator from the error body.
 type APIError struct {
-	StatusCode int
-	Message    string
+	StatusCode  int
+	Message     string
+	Epoch       uint64
+	Coordinator string
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("electd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
+
+// FenceHeader is the request header carrying a dispatched chunk's fencing
+// token (the coordinator's election epoch), mirroring ChunkRequest.Fence.
+const FenceHeader = "X-Elect-Epoch"
 
 // Run executes one election synchronously and returns its result. The
 // request's Async field is forced off; use Submit for fire-and-poll.
@@ -206,8 +213,35 @@ func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (*JobStatus,
 // dispatch (internal/distrib); the request names the full grid so every
 // worker computes cells under identical indexing.
 func (c *Client) Chunk(ctx context.Context, req ChunkRequest) (*ChunkResponse, error) {
+	var hdr map[string]string
+	if req.Fence > 0 {
+		// The fencing token rides both the body and the header, so proxies
+		// and request logs can see it without parsing JSON.
+		hdr = map[string]string{FenceHeader: strconv.FormatUint(req.Fence, 10)}
+	}
 	var out ChunkResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/chunk", req, &out); err != nil {
+	if err := c.doHdr(ctx, http.MethodPost, "/v1/chunk", hdr, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Lease delivers a control-plane lease request (grant or renewal) to the
+// daemon. A non-granted verdict is a 200 with Granted false, not an error;
+// see internal/control for the protocol.
+func (c *Client) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	var out LeaseResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lease", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Coordinator reports who the daemon believes leads its fleet (404 on
+// daemons running without a control plane).
+func (c *Client) Coordinator(ctx context.Context) (*CoordinatorResponse, error) {
+	var out CoordinatorResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/coordinator", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -347,6 +381,11 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*Jo
 // traceparent header carries that attempt's context — so a retried request
 // shows up server-side as sibling subtrees of one attempt each.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doHdr(ctx, method, path, nil, in, out)
+}
+
+// doHdr is do with extra request headers (the fencing token on /v1/chunk).
+func (c *Client) doHdr(ctx context.Context, method, path string, hdr map[string]string, in, out any) error {
 	var data []byte
 	if in != nil {
 		var err error
@@ -409,6 +448,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
 		}
 		var attemptSC obs.SpanContext
 		var tryBegan time.Time
@@ -490,7 +532,10 @@ func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
 	var e ErrorResponse
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		return &APIError{
+			StatusCode: resp.StatusCode, Message: e.Error,
+			Epoch: e.Epoch, Coordinator: e.Coordinator,
+		}
 	}
 	return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 }

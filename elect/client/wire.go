@@ -191,6 +191,12 @@ type BatchRequest struct {
 	Topos []string `json:"topos,omitempty"`
 	// Workers bounds the per-job worker pool; 0 means GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// Fleet asks the daemon to shard this batch across its HA fleet
+	// (internal/distrib over the -peers list) instead of computing it
+	// locally. Only the current coordinator accepts fleet batches; any
+	// other daemon answers 409 with the coordinator's URL and epoch so the
+	// client can resubmit there.
+	Fleet bool `json:"fleet,omitempty"`
 	Options
 	// Async, as in RunRequest.
 	Async bool `json:"async,omitempty"`
@@ -242,6 +248,13 @@ type ChunkRequest struct {
 	// Workers caps the chunk's local parallelism; 0 defers to the daemon's
 	// batch-workers cap.
 	Workers int `json:"workers,omitempty"`
+	// Fence is the dispatching coordinator's fencing token (its election
+	// epoch, see internal/control). A fleet-managed daemon rejects chunks
+	// whose token predates its current epoch with 409 — the split-brain
+	// guard against deposed coordinators. 0 means an unfenced dispatcher
+	// (a plain sweep CLI fleet), always accepted. Also sent as the
+	// FenceHeader request header.
+	Fence uint64 `json:"fence,omitempty"`
 	Options
 }
 
@@ -373,6 +386,12 @@ type Health struct {
 	// per-chunk capacity.
 	BatchWorkers int         `json:"batch_workers"`
 	Cache        *CacheStats `json:"cache,omitempty"`
+	// Role and Epoch surface the control plane (internal/control) on
+	// fleet-managed daemons: "coordinator" or "worker", and the highest
+	// election epoch the daemon has seen. Both empty/zero on standalone
+	// daemons, so probes and the fleet footer can tell who is leading.
+	Role  string `json:"role,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // TraceSummary is one entry of GET /v1/traces: a recent trace summarized
@@ -399,7 +418,48 @@ type TraceResponse struct {
 	Spans []obs.Span `json:"spans"`
 }
 
-// ErrorResponse is the body of every non-2xx API answer.
+// ErrorResponse is the body of every non-2xx API answer. Fencing
+// rejections (409 on /v1/chunk and /v1/batch) additionally carry the
+// daemon's current epoch and believed coordinator, so a deposed dispatcher
+// can resynchronize instead of guessing.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error       string `json:"error"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	Coordinator string `json:"coordinator,omitempty"`
+}
+
+// LeaseRequest is the body of POST /v1/lease: a coordinator candidate (or
+// incumbent) asking this daemon to grant — or renew — the lease for one
+// election epoch. Grants are at-most-once per epoch per daemon; an equal
+// epoch from the recorded holder is a renewal. See internal/control.
+type LeaseRequest struct {
+	// Epoch is the epoch being campaigned for (fresh grants need
+	// Epoch > the grantor's current epoch) or renewed (Epoch equal, Holder
+	// matching).
+	Epoch uint64 `json:"epoch"`
+	// Holder is the candidate's own URL as listed in the fleet's peer set.
+	Holder string `json:"holder"`
+}
+
+// LeaseResponse answers POST /v1/lease: the verdict plus the grantor's
+// current epoch and believed holder (on rejection these tell the
+// campaigner which election it lost to).
+type LeaseResponse struct {
+	Granted bool   `json:"granted"`
+	Epoch   uint64 `json:"epoch"`
+	Holder  string `json:"holder,omitempty"`
+}
+
+// CoordinatorResponse is the body of GET /v1/coordinator: who this daemon
+// believes leads the fleet, and its own role in it.
+type CoordinatorResponse struct {
+	// Self is this daemon's URL in the peer set; Role its current role
+	// ("coordinator" or "worker").
+	Self string `json:"self"`
+	Role string `json:"role"`
+	// Epoch is the highest election epoch this daemon has seen;
+	// Coordinator the lease holder's URL while a lease is live (empty when
+	// unknown or expired).
+	Epoch       uint64 `json:"epoch"`
+	Coordinator string `json:"coordinator,omitempty"`
 }

@@ -1,0 +1,308 @@
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cliquelect/internal/control"
+	"cliquelect/internal/xrand"
+)
+
+const ttl = 12 * time.Second // divisible by 12, so Step increments are exact
+
+// TestBootstrapElectsOneCoordinator: a cold three-node fleet converges on
+// exactly one quorum-confirmed coordinator within one TTL, every node
+// agrees who it is, and the safety invariants hold.
+func TestBootstrapElectsOneCoordinator(t *testing.T) {
+	c, err := New(3, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(ttl)
+	coord := c.Coordinator()
+	if coord == "" {
+		t.Fatal("no coordinator after one TTL of cold start")
+	}
+	for _, url := range c.URLs() {
+		st := c.Node(url).Status()
+		if st.Coordinator != coord {
+			t.Fatalf("%s believes coordinator is %q, want %q", url, st.Coordinator, coord)
+		}
+		if st.Epoch == 0 {
+			t.Fatalf("%s still at epoch 0", url)
+		}
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillCoordinatorReelectsWithinTTL is the headline liveness bound: the
+// coordinator dies and a different node holds a newer epoch within ONE
+// lease TTL — the follower probe loop (TTL/3 cadence, two strikes) beats
+// lease expiry, it does not wait for it.
+func TestKillCoordinatorReelectsWithinTTL(t *testing.T) {
+	c, err := New(3, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(ttl)
+	old := c.Coordinator()
+	if old == "" {
+		t.Fatal("no coordinator after bootstrap")
+	}
+	oldEpoch := c.Node(old).Status().Epoch
+
+	c.Kill(old)
+	c.Step(ttl) // the bound under test: exactly one TTL
+
+	var coord string
+	for _, url := range c.URLs() {
+		if url != old && c.Node(url).IsCoordinator() {
+			coord = url
+		}
+	}
+	if coord == "" {
+		t.Fatalf("no surviving coordinator within one TTL of killing %s", old)
+	}
+	if epoch := c.Node(coord).Status().Epoch; epoch <= oldEpoch {
+		t.Fatalf("new coordinator %s at epoch %d, want > %d", coord, epoch, oldEpoch)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitBrainFencing: the coordinator is partitioned away, the majority
+// elects a successor at a newer epoch, and when the deposed side comes
+// back its dispatches — stamped with the old token — are rejected, counted
+// and carry the new coordinator in the error. Split-brain exists as an
+// overlap window; fencing is what makes it harmless.
+func TestSplitBrainFencing(t *testing.T) {
+	c, err := New(3, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(ttl)
+	old := c.Coordinator()
+	if old == "" {
+		t.Fatal("no coordinator after bootstrap")
+	}
+	oldToken := c.Node(old).Token()
+
+	c.Partition([]string{old}) // old alone; the other two stay connected
+	c.Step(ttl)
+
+	var successor string
+	for _, url := range c.URLs() {
+		if url != old && c.Node(url).IsCoordinator() {
+			successor = url
+		}
+	}
+	if successor == "" {
+		t.Fatal("majority side elected nobody during the partition")
+	}
+	newEpoch := c.Node(successor).Status().Epoch
+	if newEpoch <= oldToken {
+		t.Fatalf("successor epoch %d not newer than deposed token %d", newEpoch, oldToken)
+	}
+
+	// Heal and let the deposed coordinator dispatch IMMEDIATELY, before any
+	// tick lets it adopt the new epoch — the classic stale-leader race.
+	c.Heal()
+	err = c.DispatchChunk(old, successor)
+	var stale *control.StaleTokenError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale dispatch accepted (err=%v), want StaleTokenError", err)
+	}
+	if stale.Epoch != newEpoch || stale.Coordinator != successor {
+		t.Fatalf("rejection carries epoch %d coordinator %q, want %d %q",
+			stale.Epoch, stale.Coordinator, newEpoch, successor)
+	}
+	if got := c.Node(successor).Status().FenceRejects; got != 1 {
+		t.Fatalf("successor counted %d fence rejects, want 1", got)
+	}
+
+	// A fresh dispatch from the CURRENT coordinator is accepted.
+	if err := c.DispatchChunk(successor, old); err != nil {
+		t.Fatalf("current coordinator's dispatch rejected: %v", err)
+	}
+
+	// After the heal settles, the fleet converges on one coordinator again.
+	c.Step(2 * ttl)
+	if coord := c.Coordinator(); coord == "" {
+		t.Fatal("no coordinator after heal")
+	}
+	for _, url := range c.URLs() {
+		if st := c.Node(url).Status(); st.Epoch < newEpoch {
+			t.Fatalf("%s stuck at epoch %d after heal, want >= %d", url, st.Epoch, newEpoch)
+		}
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuorumLossBlocksElection: with a majority dead no epoch can be won —
+// the survivor steps nobody up, and its dispatch token goes stale only
+// when a real quorum mints a newer epoch, not by timeout.
+func TestQuorumLossBlocksElection(t *testing.T) {
+	c, err := New(3, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(ttl)
+	urls := c.URLs()
+	coord := c.Coordinator()
+	if coord == "" {
+		t.Fatal("no coordinator after bootstrap")
+	}
+	epochs := len(c.HoldersByEpoch())
+
+	var survivor string
+	for _, url := range urls {
+		if url != coord {
+			c.Kill(url)
+		} else {
+			survivor = url
+		}
+	}
+	c.Step(3 * ttl)
+	if c.Coordinator() != "" {
+		t.Fatalf("%s coordinates without a quorum", c.Coordinator())
+	}
+	if got := len(c.HoldersByEpoch()); got != epochs {
+		t.Fatalf("new epochs minted without a quorum: %d -> %d", epochs, got)
+	}
+	_ = survivor
+
+	// Revive one peer: quorum returns, somebody wins a fresh epoch.
+	for _, url := range urls {
+		if url != coord {
+			c.Revive(url)
+			break
+		}
+	}
+	c.Step(2 * ttl)
+	if c.Coordinator() == "" {
+		t.Fatal("no coordinator after quorum restored")
+	}
+	if got := len(c.HoldersByEpoch()); got <= epochs {
+		t.Fatal("quorum restored but no new epoch won")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosScriptDeterministic: the same scripted scenario on two fresh
+// clusters produces byte-identical election histories — the property that
+// makes every other test in this package replayable.
+func TestChaosScriptDeterministic(t *testing.T) {
+	script := func() (map[uint64][]string, error) {
+		c, err := New(5, ttl)
+		if err != nil {
+			return nil, err
+		}
+		c.Step(ttl)
+		c.Kill(c.Coordinator())
+		c.Step(ttl)
+		c.Partition([]string{c.URLs()[0], c.URLs()[1]})
+		c.Step(2 * ttl)
+		c.Heal()
+		c.Step(ttl)
+		if err := c.Check(); err != nil {
+			return nil, err
+		}
+		return c.HoldersByEpoch(), nil
+	}
+	a, err := script()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := script()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same script, different histories:\n%v\n%v", a, b)
+	}
+}
+
+// TestSeededRandomChaos: a seeded storm of kills, revives, partitions and
+// heals. After every event the safety invariants must hold — one holder
+// per epoch, consistent votes — and once the storm ends and a majority is
+// back, the fleet must elect again and fence every stale token.
+func TestSeededRandomChaos(t *testing.T) {
+	const nodes = 5
+	c, err := New(nodes, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := c.URLs()
+	rng := xrand.New(0xC4A05)
+	down := map[string]bool{}
+
+	c.Step(ttl)
+	for event := 0; event < 40; event++ {
+		switch rng.Intn(5) {
+		case 0: // kill someone, but never below quorum
+			if len(down) < nodes/2 {
+				url := urls[rng.Intn(nodes)]
+				if !down[url] {
+					down[url] = true
+					c.Kill(url)
+				}
+			}
+		case 1: // revive someone
+			for url := range down {
+				delete(down, url)
+				c.Revive(url)
+				break
+			}
+		case 2: // partition a random minority off
+			c.Partition([]string{urls[rng.Intn(nodes)], urls[rng.Intn(nodes)]})
+		case 3:
+			c.Heal()
+		case 4: // dispatch between two random live nodes; stale must bounce
+			from, to := urls[rng.Intn(nodes)], urls[rng.Intn(nodes)]
+			if err := c.DispatchChunk(from, to); err != nil {
+				var stale *control.StaleTokenError
+				if !errors.As(err, &stale) && c.reachable(from, to) {
+					t.Fatalf("event %d: dispatch %s->%s failed oddly: %v", event, from, to, err)
+				}
+			}
+		}
+		c.Step(ttl / 2)
+		if err := c.Check(); err != nil {
+			t.Fatalf("event %d: %v", event, err)
+		}
+	}
+
+	// Storm over: everyone back, fabric healed, one coordinator expected.
+	for url := range down {
+		c.Revive(url)
+	}
+	c.Heal()
+	c.Step(2 * ttl)
+	coord := c.Coordinator()
+	if coord == "" {
+		t.Fatal("no coordinator after the storm")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Every stale node's dispatch bounces; the coordinator's is accepted.
+	for _, url := range urls {
+		if c.Node(url).Token() < c.Node(coord).Token() {
+			if err := c.DispatchChunk(url, coord); err == nil {
+				t.Fatalf("stale dispatch from %s accepted", url)
+			}
+		}
+	}
+	if err := c.DispatchChunk(coord, urls[0]); err != nil {
+		t.Fatalf("coordinator dispatch rejected: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package chaostest is the deterministic chaos harness for the control
+// plane: a fleet of real control.Nodes driven entirely on virtual time over
+// a scriptable in-memory network. Tests kill daemons, partition the fabric
+// and heal it at exact instants, then assert the invariants that make
+// lease-based coordination sound:
+//
+//   - exactly one holder per epoch (the quorum at-most-once-per-epoch rule),
+//   - no chunk carrying a stale fencing token is ever accepted,
+//   - a dead coordinator is replaced within one lease TTL.
+//
+// Nothing here sleeps and nothing reads the wall clock: Cluster.Step
+// advances a virtual clock in fixed increments and ticks every live node in
+// sorted URL order, and lease RPCs are synchronous function calls, so a
+// scenario replays identically on every run and under -race. The dogfooded
+// elect.Run inside each campaign is the real protocol on the real live
+// engine — deterministic in (n, seed), which is exactly why the control
+// plane can use it.
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cliquelect/elect/client"
+	"cliquelect/internal/control"
+)
+
+// Clock is the harness's virtual time source (a control.Clock). The zero
+// value starts at a fixed, arbitrary instant; only differences matter.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock starts virtual time at a fixed epoch.
+func NewClock() *Clock {
+	return &Clock{now: time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now is the current virtual instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Cluster is a virtual fleet: one control.Node per URL, all sharing one
+// virtual clock, wired through a scriptable network.
+type Cluster struct {
+	TTL   time.Duration
+	Clock *Clock
+	urls  []string
+	nodes map[string]*control.Node
+
+	mu     sync.Mutex
+	down   map[string]bool
+	groups map[string]int // partition id per URL; nil = fully connected
+}
+
+// New builds a cluster of n nodes named node-0 .. node-(n-1), with the
+// given lease TTL.
+func New(n int, ttl time.Duration) (*Cluster, error) {
+	c := &Cluster{
+		TTL:   ttl,
+		Clock: NewClock(),
+		nodes: make(map[string]*control.Node, n),
+		down:  make(map[string]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		c.urls = append(c.urls, fmt.Sprintf("http://node-%d", i))
+	}
+	sort.Strings(c.urls)
+	for _, url := range c.urls {
+		node, err := control.New(control.Config{
+			Self:      url,
+			Peers:     c.urls,
+			LeaseTTL:  ttl,
+			Transport: link{c: c, from: url},
+			Clock:     c.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[url] = node
+	}
+	return c, nil
+}
+
+// URLs is the sorted node list.
+func (c *Cluster) URLs() []string { return append([]string(nil), c.urls...) }
+
+// Node returns one node by URL.
+func (c *Cluster) Node(url string) *control.Node { return c.nodes[url] }
+
+// Kill takes a node off the network and stops ticking it — a kill -9, not
+// a graceful exit: its in-memory state (lease, epoch, token) survives for
+// Revive.
+func (c *Cluster) Kill(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[url] = true
+}
+
+// Revive brings a killed node back with the state it died with.
+func (c *Cluster) Revive(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.down, url)
+}
+
+// Partition splits the network into the given groups: nodes in different
+// groups cannot reach each other. Unlisted nodes form one implicit extra
+// group together. Heal undoes it.
+func (c *Cluster) Partition(groups ...[]string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.groups = make(map[string]int, len(c.urls))
+	for id, g := range groups {
+		for _, url := range g {
+			c.groups[url] = id + 1
+		}
+	}
+}
+
+// Heal reconnects everything.
+func (c *Cluster) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.groups = nil
+}
+
+// reachable reports whether from can currently deliver to to.
+func (c *Cluster) reachable(from, to string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[from] || c.down[to] {
+		return false
+	}
+	if c.groups == nil {
+		return true
+	}
+	return c.groups[from] == c.groups[to]
+}
+
+func (c *Cluster) alive(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.down[url]
+}
+
+// Step advances virtual time by d in TTL/12 increments, ticking every live
+// node in sorted URL order after each increment — fine enough that no
+// node's TTL/6 campaign throttle can skip a whole interval.
+func (c *Cluster) Step(d time.Duration) {
+	inc := c.TTL / 12
+	if inc <= 0 {
+		inc = time.Millisecond
+	}
+	for elapsed := time.Duration(0); elapsed < d; elapsed += inc {
+		c.Clock.Advance(inc)
+		now := c.Clock.Now()
+		for _, url := range c.urls {
+			if c.alive(url) {
+				c.nodes[url].Tick(now)
+			}
+		}
+	}
+}
+
+// Coordinator returns the URL of the node currently holding a
+// quorum-confirmed lease, or "" when nobody leads. Dead nodes still count:
+// a killed coordinator's in-memory lease is exactly the overlap window the
+// fencing invariant exists for.
+func (c *Cluster) Coordinator() string {
+	for _, url := range c.urls {
+		if c.nodes[url].IsCoordinator() {
+			return url
+		}
+	}
+	return ""
+}
+
+// DispatchChunk simulates the coordinator-side dispatch path: from stamps
+// its current fencing token on a chunk and to fences it, exactly as
+// distrib stamps ChunkRequest.Fence and the service's CheckFence decides
+// the 409. The returned error is to's verdict (nil = accepted).
+func (c *Cluster) DispatchChunk(from, to string) error {
+	if !c.reachable(from, to) {
+		return fmt.Errorf("chaostest: %s cannot reach %s", from, to)
+	}
+	return c.nodes[to].CheckFence(c.nodes[from].Token())
+}
+
+// HoldersByEpoch merges every node's quorum-held epochs into epoch →
+// holders. The one-holder-per-epoch invariant is that every value has
+// length 1; Check verifies it.
+func (c *Cluster) HoldersByEpoch() map[uint64][]string {
+	held := make(map[uint64][]string)
+	for _, url := range c.urls {
+		for _, epoch := range c.nodes[url].Held() {
+			held[epoch] = append(held[epoch], url)
+		}
+	}
+	return held
+}
+
+// Check asserts the cluster-wide safety invariants and returns the first
+// violation (nil = all hold):
+//
+//   - at most one holder per epoch, across every node's Held log,
+//   - quorum evidence: every held epoch's holder gathered a majority of the
+//     fleet's votes for that epoch (losing candidates' own votes are normal
+//     and don't count against it).
+func (c *Cluster) Check() error {
+	held := c.HoldersByEpoch()
+	for epoch, holders := range held {
+		if len(holders) != 1 {
+			return fmt.Errorf("epoch %d held by %d nodes: %v", epoch, len(holders), holders)
+		}
+	}
+	quorum := len(c.urls)/2 + 1
+	for epoch, holders := range held {
+		votes := 0
+		for _, url := range c.urls {
+			if c.nodes[url].Grants()[epoch] == holders[0] {
+				votes++
+			}
+		}
+		if votes < quorum {
+			return fmt.Errorf("epoch %d held by %s on %d/%d votes, quorum is %d",
+				epoch, holders[0], votes, len(c.urls), quorum)
+		}
+	}
+	return nil
+}
+
+// link is one node's view of the cluster network: a control.Transport
+// whose RPCs are synchronous in-memory calls gated on the kill/partition
+// script. Contexts are ignored — virtual time has no timeouts.
+type link struct {
+	c    *Cluster
+	from string
+}
+
+func (l link) Probe(ctx context.Context, peer string) error {
+	if !l.c.reachable(l.from, peer) {
+		return fmt.Errorf("chaostest: %s cannot reach %s", l.from, peer)
+	}
+	return nil
+}
+
+func (l link) Lease(ctx context.Context, peer string, req client.LeaseRequest) (*client.LeaseResponse, error) {
+	if !l.c.reachable(l.from, peer) {
+		return nil, fmt.Errorf("chaostest: %s cannot reach %s", l.from, peer)
+	}
+	resp := l.c.nodes[peer].HandleLease(req, l.c.Clock.Now())
+	return &resp, nil
+}

@@ -1,0 +1,229 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"cliquelect/elect/client"
+)
+
+// nopTransport satisfies Transport for state-machine unit tests that never
+// tick; every RPC fails, which a Node must tolerate anyway.
+type nopTransport struct{}
+
+func (nopTransport) Probe(ctx context.Context, peer string) error { return errors.New("nop") }
+func (nopTransport) Lease(ctx context.Context, peer string, req client.LeaseRequest) (*client.LeaseResponse, error) {
+	return nil, errors.New("nop")
+}
+
+// fixedClock pins Now for lease-expiry arithmetic.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) Now() time.Time { return c.t }
+
+func newTestNode(t *testing.T, self string, peers ...string) (*Node, *fixedClock) {
+	t.Helper()
+	clock := &fixedClock{t: time.Unix(1000, 0)}
+	n, err := New(Config{Self: self, Peers: peers, Transport: nopTransport{}, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, clock
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Transport: nopTransport{}}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "a"}); err == nil {
+		t.Fatal("missing Transport accepted")
+	}
+	if _, err := New(Config{Self: "a", Transport: nopTransport{}, Spec: "no-such-spec"}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []string{"b", ""}, Transport: nopTransport{}}); err == nil {
+		t.Fatal("empty peer URL accepted")
+	}
+}
+
+func TestPeerNormalization(t *testing.T) {
+	n, _ := newTestNode(t, "http://b", "http://c", "http://a", "http://c", "http://b")
+	want := []string{"http://a", "http://b", "http://c"}
+	got := n.Peers()
+	if !sort.StringsAreSorted(got) || len(got) != len(want) {
+		t.Fatalf("peers = %v, want sorted %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peers = %v, want %v", got, want)
+		}
+	}
+	if q := n.quorum(); q != 2 {
+		t.Fatalf("quorum of 3 = %d, want 2", q)
+	}
+}
+
+func TestHandleLeaseGrantRenewReject(t *testing.T) {
+	n, clock := newTestNode(t, "http://a", "http://b", "http://c")
+	now := clock.Now()
+
+	// Fresh grant for a newer epoch.
+	resp := n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://b"}, now)
+	if !resp.Granted || resp.Epoch != 1 || resp.Holder != "http://b" {
+		t.Fatalf("fresh grant: %+v", resp)
+	}
+	// Renewal: same epoch, same holder.
+	resp = n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://b"}, now.Add(time.Second))
+	if !resp.Granted {
+		t.Fatalf("renewal rejected: %+v", resp)
+	}
+	// Same epoch, different holder: rejected — the at-most-once rule.
+	resp = n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://c"}, now)
+	if resp.Granted {
+		t.Fatal("second holder granted the same epoch")
+	}
+	if resp.Epoch != 1 || resp.Holder != "http://b" {
+		t.Fatalf("rejection must report the standing vote, got %+v", resp)
+	}
+	// Older epoch: rejected.
+	if resp := n.HandleLease(client.LeaseRequest{Epoch: 0, Holder: "http://c"}, now); resp.Granted {
+		t.Fatal("stale epoch granted")
+	}
+	// Empty holder: rejected even for a newer epoch.
+	if resp := n.HandleLease(client.LeaseRequest{Epoch: 9}, now); resp.Granted {
+		t.Fatal("empty holder granted")
+	}
+	// Newer epoch from another candidate: granted, vote moves on.
+	if resp := n.HandleLease(client.LeaseRequest{Epoch: 2, Holder: "http://c"}, now); !resp.Granted {
+		t.Fatalf("newer epoch rejected: %+v", resp)
+	}
+	st := n.Status()
+	if st.Grants != 2 || st.Renewals != 1 || st.Rejects != 3 {
+		t.Fatalf("counters grants=%d renewals=%d rejects=%d, want 2/1/3",
+			st.Grants, st.Renewals, st.Rejects)
+	}
+	votes := n.Grants()
+	if votes[1] != "http://b" || votes[2] != "http://c" {
+		t.Fatalf("vote record %v", votes)
+	}
+}
+
+func TestGrantingAwayDeposesCoordinator(t *testing.T) {
+	n, clock := newTestNode(t, "http://a", "http://b", "http://c")
+	now := clock.Now()
+	// Make a the coordinator by hand: self-vote then quorum-confirm.
+	if resp := n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://a"}, now); !resp.Granted {
+		t.Fatal("self vote rejected")
+	}
+	n.mu.Lock()
+	n.leading = true
+	n.expires = now.Add(n.ttl)
+	n.mu.Unlock()
+	if !n.IsCoordinator() {
+		t.Fatal("not coordinator after quorum")
+	}
+	// A newer epoch granted to someone else deposes us immediately.
+	if resp := n.HandleLease(client.LeaseRequest{Epoch: 2, Holder: "http://b"}, now); !resp.Granted {
+		t.Fatal("newer epoch rejected")
+	}
+	if n.IsCoordinator() {
+		t.Fatal("still coordinator after granting a newer epoch away")
+	}
+	if st := n.Status(); st.Stepdowns != 1 {
+		t.Fatalf("stepdowns = %d, want 1", st.Stepdowns)
+	}
+}
+
+func TestCheckFence(t *testing.T) {
+	n, clock := newTestNode(t, "http://a", "http://b", "http://c")
+	now := clock.Now()
+	n.HandleLease(client.LeaseRequest{Epoch: 5, Holder: "http://b"}, now)
+
+	if err := n.CheckFence(0); err != nil {
+		t.Fatalf("legacy token 0 rejected: %v", err)
+	}
+	if err := n.CheckFence(5); err != nil {
+		t.Fatalf("current token rejected: %v", err)
+	}
+	if err := n.CheckFence(7); err != nil {
+		t.Fatalf("future token rejected: %v", err)
+	}
+	err := n.CheckFence(4)
+	var stale *StaleTokenError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale token accepted: %v", err)
+	}
+	if stale.Token != 4 || stale.Epoch != 5 || stale.Coordinator != "http://b" {
+		t.Fatalf("stale error fields %+v", stale)
+	}
+	if st := n.Status(); st.FenceRejects != 1 {
+		t.Fatalf("fenceRejects = %d, want 1", st.FenceRejects)
+	}
+}
+
+func TestLeaseExpiryDemotes(t *testing.T) {
+	n, clock := newTestNode(t, "http://a", "http://b", "http://c")
+	now := clock.Now()
+	n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://a"}, now)
+	n.mu.Lock()
+	n.leading = true
+	n.expires = now.Add(n.ttl)
+	n.mu.Unlock()
+
+	st := n.Status()
+	if st.Role != RoleCoordinator || st.Coordinator != "http://a" {
+		t.Fatalf("status before expiry: %+v", st)
+	}
+	clock.t = now.Add(n.ttl + time.Second)
+	if n.IsCoordinator() {
+		t.Fatal("coordinator past expiry")
+	}
+	st = n.Status()
+	if st.Role != RoleWorker || st.Coordinator != "" {
+		t.Fatalf("status after expiry: %+v", st)
+	}
+}
+
+func TestElectWinnerDeterministicAndLiveBound(t *testing.T) {
+	n, _ := newTestNode(t, "http://a", "http://b", "http://c")
+	live := []string{"http://c", "http://a", "http://b"}
+	first := n.electWinner(append([]string(nil), live...), 3)
+	for i := 0; i < 5; i++ {
+		if w := n.electWinner(append([]string(nil), live...), 3); w != first {
+			t.Fatalf("winner flapped: %q then %q", first, w)
+		}
+	}
+	found := false
+	for _, url := range live {
+		if url == first {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("winner %q not in the live set %v", first, live)
+	}
+	// A lone candidate always wins its own view.
+	if w := n.electWinner([]string{"http://a"}, 9); w != "http://a" {
+		t.Fatalf("singleton view winner %q", w)
+	}
+}
+
+func TestElectIDsIsPermutation(t *testing.T) {
+	ids := electIDs(8, 42)
+	seen := make(map[int64]bool, 8)
+	for _, id := range ids {
+		if id < 1 || id > 8 || seen[id] {
+			t.Fatalf("electIDs not a permutation of 1..8: %v", ids)
+		}
+		seen[id] = true
+	}
+	again := electIDs(8, 42)
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatalf("electIDs not deterministic: %v vs %v", ids, again)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package control
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cliquelect/elect/client"
+)
+
+// httpTransport is the production Transport: probes are GET /healthz and
+// lease RPCs POST /v1/lease, through the same elect/client the dispatch
+// fabric uses (retry policy included — lease requests are idempotent, a
+// repeated grant of the same epoch to the same holder is a renewal).
+type httpTransport struct {
+	opts []client.ClientOption
+
+	mu      sync.Mutex
+	clients map[string]*client.Client
+}
+
+// NewHTTPTransport builds the production transport. opts apply to every
+// peer client (test transports, retry tuning).
+func NewHTTPTransport(opts ...client.ClientOption) Transport {
+	return &httpTransport{opts: opts, clients: make(map[string]*client.Client)}
+}
+
+func (t *httpTransport) client(peer string) *client.Client {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.clients[peer]
+	if !ok {
+		c = client.New(peer, t.opts...)
+		t.clients[peer] = c
+	}
+	return c
+}
+
+func (t *httpTransport) Probe(ctx context.Context, peer string) error {
+	h, err := t.client(peer).Health(ctx)
+	if err != nil {
+		return err
+	}
+	if !h.OK {
+		return fmt.Errorf("control: peer %s reports not ok", peer)
+	}
+	return nil
+}
+
+func (t *httpTransport) Lease(ctx context.Context, peer string, req client.LeaseRequest) (*client.LeaseResponse, error) {
+	return t.client(peer).Lease(ctx, req)
+}

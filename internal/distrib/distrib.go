@@ -71,7 +71,21 @@ type Config struct {
 	// (cmd/sweep's parameter loop) forms one trace; otherwise each RunGrid
 	// roots its own.
 	Root obs.SpanContext
+	// Fence, when non-nil, supplies the dispatcher's fencing token (the
+	// control plane's election epoch — see internal/control; electd wires
+	// control.Node.Token here). The token is captured once per grid and
+	// stamped on every chunk; a worker holding a newer epoch rejects the
+	// chunk with 409, and a token change observed mid-grid aborts the grid
+	// with ErrFenced — both mean this dispatcher was deposed. Nil means
+	// unfenced dispatch (the plain sweep CLI).
+	Fence func() uint64
 }
+
+// ErrFenced means the dispatcher was deposed mid-grid: either a worker
+// rejected a chunk's fencing token as stale (409), or the local token
+// advanced past the one the grid started with. The grid's results are
+// abandoned — the new coordinator owns the work now.
+var ErrFenced = errors.New("distrib: dispatcher fenced off (coordinator deposed)")
 
 // Fleet is a registry of electd workers plus the chunk scheduler. All
 // methods are safe for concurrent use, and one Fleet may serve many grids
@@ -92,9 +106,11 @@ type worker struct {
 
 	mu         sync.Mutex
 	alive      bool
-	queueDepth int // from the last probe: jobs waiting on the daemon
-	capacity   int // from the last probe: the daemon's batch_workers
-	inflight   int // chunks currently dispatched to this worker
+	queueDepth int    // from the last probe: jobs waiting on the daemon
+	capacity   int    // from the last probe: the daemon's batch_workers
+	role       string // from the last probe: control-plane role ("" standalone)
+	epoch      uint64 // from the last probe: highest election epoch seen
+	inflight   int    // chunks currently dispatched to this worker
 
 	cells  int64
 	chunks int64
@@ -185,6 +201,8 @@ func (f *Fleet) Probe(ctx context.Context) int {
 			if w.alive {
 				w.queueDepth = h.QueueDepth
 				w.capacity = h.BatchWorkers
+				w.role = h.Role
+				w.epoch = h.Epoch
 			} else if f.cfg.Logf != nil {
 				f.cfg.Logf("distrib: worker %s unreachable: %v", w.url, err)
 			}
@@ -279,6 +297,13 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 	if f.Probe(ctx) == 0 {
 		return nil, fmt.Errorf("distrib: none of %d workers alive: %w", len(f.workers), elect.ErrNoWorkers)
 	}
+	// The fencing token is captured once per grid: every chunk of this grid
+	// carries the same token, and the scheduler aborts if the local token
+	// moves on mid-grid (this dispatcher was deposed).
+	var fence uint64
+	if f.cfg.Fence != nil {
+		fence = f.cfg.Fence()
+	}
 
 	total := elect.GridSize(ns, seeds, b.Topos)
 	chunks := Partition(total, f.cfg.ChunkSize)
@@ -350,7 +375,7 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 			}
 			resp, err := w.c.Chunk(cctx, client.ChunkRequest{
 				Spec: spec.Name, Ns: ns, Seeds: seeds, Topos: b.Topos,
-				Start: ch.Start, Count: ch.Count, Options: wopts,
+				Start: ch.Start, Count: ch.Count, Fence: fence, Options: wopts,
 			})
 			comp := completion{ci: ci, w: w, dur: time.Since(start), err: err}
 			if err == nil {
@@ -405,6 +430,12 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 	stragglerTick := max(f.cfg.StragglerAfter/4, 10*time.Millisecond)
 
 	for doneChunks < len(chunks) {
+		if f.cfg.Fence != nil {
+			if now := f.cfg.Fence(); now != fence {
+				return nil, fmt.Errorf("distrib: fencing token advanced %d → %d mid-grid: %w",
+					fence, now, ErrFenced)
+			}
+		}
 		// Dispatch everything dispatchable; cache-satisfied chunks are merged
 		// without touching the network (this is also what makes re-enqueued
 		// chunks free when their cells got merged meanwhile).
@@ -457,6 +488,11 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 			st.inflight--
 			delete(st.on, comp.w)
 			switch {
+			case comp.err != nil && fencedStatus(comp.err):
+				// A worker holds a newer epoch than this grid's token: we were
+				// deposed, and the new coordinator owns the remaining work.
+				return nil, fmt.Errorf("distrib: chunk [%d, %d) on %s rejected (%v): %w",
+					chunks[comp.ci].Start, chunks[comp.ci].End(), comp.w.url, comp.err, ErrFenced)
 			case comp.err != nil && definite(comp.err):
 				// The daemon answered: this configuration fails everywhere.
 				return nil, fmt.Errorf("distrib: chunk [%d, %d) on %s: %w",
@@ -549,6 +585,13 @@ func definite(err error) bool {
 	return !client.TransientStatus(apiErr.StatusCode)
 }
 
+// fencedStatus reports a worker's 409: the chunk's fencing token is stale
+// because a newer election epoch is live.
+func fencedStatus(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == 409
+}
+
 // pickWorker chooses the dispatch target: the alive worker with the fewest
 // chunks in flight (below the per-worker bound), ties broken by the lighter
 // probe-time queue, skipping workers in exclude (a straggler's duplicate
@@ -605,6 +648,11 @@ func (w *worker) endChunk(ok bool, cells int, dur time.Duration) {
 type WorkerStats struct {
 	URL   string
 	Alive bool
+	// Role and Epoch are the worker's control-plane position from the last
+	// probe ("" / 0 on standalone daemons) — the fleet footer's "who leads"
+	// column.
+	Role  string
+	Epoch uint64
 	// Chunks and Cells count successfully completed dispatches; Busy is the
 	// wall time those chunks spent in flight.
 	Chunks int64
@@ -665,6 +713,9 @@ func (s Stats) String() string {
 		if !w.Alive {
 			status = "dead"
 		}
+		if w.Role != "" {
+			status += " " + w.Role + " epoch=" + strconv.FormatUint(w.Epoch, 10)
+		}
 		fmt.Fprintf(&b, "# worker %s [%s]: %d cells in %d chunks (%.0f cells/s), %d dispatches (%d failed, %d straggler dups), latency %s..%s\n",
 			w.URL, status, w.Cells, w.Chunks, w.CellsPerSec(),
 			w.Dispatches, w.Failures, w.Stragglers,
@@ -684,7 +735,8 @@ func (f *Fleet) Stats() Stats {
 		cs := w.c.Stats()
 		w.mu.Lock()
 		out.Workers = append(out.Workers, WorkerStats{
-			URL: w.url, Alive: w.alive, Chunks: w.chunks, Cells: w.cells, Busy: w.busy,
+			URL: w.url, Alive: w.alive, Role: w.role, Epoch: w.epoch,
+			Chunks: w.chunks, Cells: w.cells, Busy: w.busy,
 			Dispatches: w.dispatches, Failures: w.failures, Stragglers: w.stragglers,
 			MinLat: w.minLat, MaxLat: w.maxLat, Client: cs,
 		})

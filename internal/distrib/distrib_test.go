@@ -1,4 +1,4 @@
-package distrib
+package distrib_test
 
 import (
 	"bytes"
@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"cliquelect/elect"
+
 	"cliquelect/elect/client"
+	. "cliquelect/internal/distrib"
 	"cliquelect/internal/resultcache"
 	"cliquelect/internal/service"
 )
@@ -156,8 +158,8 @@ func TestPartition(t *testing.T) {
 			}
 		}
 	}
-	if DefaultChunkSize(1<<30) != maxChunkCells {
-		t.Fatal("huge grids must clamp to maxChunkCells")
+	if DefaultChunkSize(1<<30) != MaxChunkCells {
+		t.Fatal("huge grids must clamp to MaxChunkCells")
 	}
 }
 

@@ -1,0 +1,12 @@
+package distrib
+
+import "cliquelect/internal/obs"
+
+// MaxChunkCells exposes the partitioner's chunk-size clamp to the external
+// test package (the tests moved out of package distrib when the service
+// layer started importing distrib for in-daemon fleet dispatch).
+const MaxChunkCells = maxChunkCells
+
+// ConfiguredSpans exposes the fleet's span collector for the untraced-path
+// assertion.
+func (f *Fleet) ConfiguredSpans() *obs.SpanCollector { return f.cfg.Spans }

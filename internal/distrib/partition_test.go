@@ -1,9 +1,11 @@
-package distrib
+package distrib_test
 
 import (
 	"testing"
 
 	"cliquelect/elect"
+
+	. "cliquelect/internal/distrib"
 )
 
 // TestPartitionEdgeCases is the degenerate-grid table: empty and single-cell

@@ -1,10 +1,12 @@
-package distrib
+package distrib_test
 
 import (
 	"strings"
 	"testing"
 
 	"cliquelect/elect"
+
+	. "cliquelect/internal/distrib"
 	"cliquelect/internal/obs"
 )
 
@@ -98,7 +100,7 @@ func TestFleetUntracedByDefault(t *testing.T) {
 	}
 	// The worker daemon roots its own handler traces either way; what must
 	// NOT happen is coordinator-side span creation.
-	if fleet.cfg.Spans.Len() != 0 {
+	if fleet.ConfiguredSpans().Len() != 0 {
 		t.Fatal("untraced fleet recorded spans")
 	}
 }

@@ -87,6 +87,17 @@ type Config struct {
 	// must be fast, non-blocking, and must not call back into the job or
 	// manager. The service layer emits its queue-wait trace span here.
 	OnJobStart func(s Snapshot)
+	// CheckFence, when non-nil, re-validates a chunk job's fencing token
+	// (WithFence) at the moment it begins executing: a non-nil error fails
+	// the job with that error instead of running it. The service layer
+	// wires the control plane's epoch check in here, so a chunk that was
+	// queued under one coordinator and would execute after that
+	// coordinator was deposed is rejected rather than computed — the
+	// execution-time half of the split-brain fence (the HTTP handler
+	// pre-checks at submission for a fast 409). The same calling
+	// discipline as the hooks applies: fast, non-blocking, no calls back
+	// into the manager.
+	CheckFence func(fence uint64) error
 	// OnJobDone, when non-nil, observes every job reaching a terminal state
 	// with its final snapshot: queue wait is Started-Created (or
 	// Finished-Created for jobs canceled in the queue, whose Started stays
@@ -102,6 +113,7 @@ type Manager struct {
 	cache        elect.Cache
 	maxJobs      int
 	batchWorkers int
+	checkFence   func(uint64) error
 	onJobStart   func(Snapshot)
 	onJobDone    func(Snapshot)
 	queue        chan *Job
@@ -131,6 +143,7 @@ func NewManager(cfg Config) *Manager {
 		cache:        cfg.Cache,
 		maxJobs:      maxJobs,
 		batchWorkers: cfg.BatchWorkers,
+		checkFence:   cfg.CheckFence,
 		onJobStart:   cfg.OnJobStart,
 		onJobDone:    cfg.OnJobDone,
 		queue:        make(chan *Job, depth),
@@ -173,6 +186,12 @@ func NoCache() SubmitOption { return func(j *Job) { j.noCache = true } }
 // exec spans it emits from the OnJobStart/OnJobDone hooks, so this package
 // carries trace context without importing the tracing layer.
 func WithTraceparent(tp string) SubmitOption { return func(j *Job) { j.trace = tp } }
+
+// WithFence attaches a dispatching coordinator's fencing token (its
+// election epoch) to a chunk job. The manager's CheckFence hook re-checks
+// it when the job starts executing; 0 (the default) marks an unfenced
+// dispatcher and always passes.
+func WithFence(token uint64) SubmitOption { return func(j *Job) { j.fence = token } }
 
 // SubmitRun enqueues a single election run.
 func (m *Manager) SubmitRun(spec elect.Spec, opts []elect.Option, sopts ...SubmitOption) (*Job, error) {
@@ -292,7 +311,7 @@ func (m *Manager) worker() {
 		if j.noCache {
 			cache = nil
 		}
-		j.execute(cache, m.batchWorkers)
+		j.execute(cache, m.batchWorkers, m.checkFence)
 	}
 }
 
@@ -307,6 +326,7 @@ type Job struct {
 	batch        elect.Batch    // KindBatch, KindChunk
 	start, count int            // KindChunk cell range
 	noCache      bool
+	fence        uint64 // KindChunk fencing token (WithFence)
 	trace        string // opaque traceparent (WithTraceparent)
 
 	onStart func(Snapshot)
@@ -516,8 +536,11 @@ func (j *Job) finishLocked(state State, err error) {
 }
 
 // execute runs the job on a worker goroutine. batchWorkers, when positive,
-// caps the parallelism of a batch job's RunMany executor.
-func (j *Job) execute(cache elect.Cache, batchWorkers int) {
+// caps the parallelism of a batch job's RunMany executor. checkFence, when
+// non-nil, re-validates a chunk's fencing token at execution start — the
+// queued→running edge is where a token stamped by a since-deposed
+// coordinator must be caught.
+func (j *Job) execute(cache elect.Cache, batchWorkers int, checkFence func(uint64) error) {
 	j.mu.Lock()
 	if j.state != Queued { // canceled while waiting
 		j.mu.Unlock()
@@ -530,6 +553,15 @@ func (j *Job) execute(cache elect.Cache, batchWorkers int) {
 	}
 	j.notifyLocked()
 	j.mu.Unlock()
+
+	if j.Kind == KindChunk && checkFence != nil {
+		if err := checkFence(j.fence); err != nil {
+			j.mu.Lock()
+			j.finishLocked(Failed, err)
+			j.mu.Unlock()
+			return
+		}
+	}
 
 	switch j.Kind {
 	case KindRun:

@@ -11,7 +11,7 @@ import (
 
 // Version identifies the service build on /healthz and in the
 // electd_build_info metric. Bump it when the API surface changes.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // metrics is the daemon's instrumentation: one obs.Registry populated by the
 // request middleware, the jobs.Config.OnJobDone hook and a handful of
@@ -103,6 +103,38 @@ func newMetrics(s *Server) *metrics {
 		r.GaugeFunc("electd_cache_entries",
 			"Result-cache resident entries.",
 			func() float64 { return float64(cache.Stats().Entries) })
+	}
+	if s.cfg.Control != nil {
+		node := s.cfg.Control
+		r.GaugeFunc("electd_control_epoch",
+			"Highest election epoch this daemon has seen.",
+			func() float64 { return float64(node.Status().Epoch) })
+		r.GaugeFunc("electd_control_is_coordinator",
+			"1 while this daemon holds the coordinator lease.",
+			func() float64 {
+				if node.IsCoordinator() {
+					return 1
+				}
+				return 0
+			})
+		r.CounterFunc("electd_control_elections_total",
+			"Campaigns this daemon won.",
+			func() float64 { return float64(node.Status().Elections) })
+		r.CounterFunc("electd_control_grants_total",
+			"Fresh-epoch leases this daemon granted.",
+			func() float64 { return float64(node.Status().Grants) })
+		r.CounterFunc("electd_control_renewals_total",
+			"Lease renewals this daemon granted.",
+			func() float64 { return float64(node.Status().Renewals) })
+		r.CounterFunc("electd_control_rejects_total",
+			"Lease requests this daemon refused.",
+			func() float64 { return float64(node.Status().Rejects) })
+		r.CounterFunc("electd_control_stepdowns_total",
+			"Leaderships this daemon lost or let expire.",
+			func() float64 { return float64(node.Status().Stepdowns) })
+		r.CounterFunc("electd_control_fence_rejects_total",
+			"Chunk dispatches refused for carrying a stale fencing token.",
+			func() float64 { return float64(node.Status().FenceRejects) })
 	}
 	return m
 }

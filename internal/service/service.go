@@ -43,6 +43,8 @@ import (
 
 	"cliquelect/elect"
 	"cliquelect/elect/client"
+	"cliquelect/internal/control"
+	"cliquelect/internal/distrib"
 	"cliquelect/internal/jobs"
 	"cliquelect/internal/obs"
 	"cliquelect/internal/resultcache"
@@ -71,6 +73,18 @@ type Config struct {
 	// address), so merged fleet traces tell workers apart. Empty means
 	// plain "electd".
 	Instance string
+	// Control, when non-nil, is this daemon's control-plane node
+	// (internal/control, built by cmd/electd from -peers): it serves
+	// POST /v1/lease and GET /v1/coordinator, stamps role/epoch on
+	// /healthz, fences /v1/chunk dispatches (409 on stale tokens, both at
+	// submission and at execution start) and gates fleet batches on
+	// coordinatorship.
+	Control *control.Node
+	// Fleet, when non-nil, dispatches fleet batches (BatchRequest.Fleet)
+	// across the daemon's peers. Normally set alongside Control with the
+	// node's Token as the fencing source; without it fleet batches are
+	// rejected.
+	Fleet *distrib.Fleet
 }
 
 // Server is the electd HTTP service.
@@ -102,6 +116,10 @@ func New(cfg Config) *Server {
 	if cfg.Cache != nil {
 		cache = cfg.Cache
 	}
+	var checkFence func(uint64) error
+	if cfg.Control != nil {
+		checkFence = cfg.Control.CheckFence
+	}
 	s.mgr = jobs.NewManager(jobs.Config{
 		Workers:      cfg.Workers,
 		QueueDepth:   cfg.QueueDepth,
@@ -109,6 +127,7 @@ func New(cfg Config) *Server {
 		Cache:        cache,
 		OnJobStart:   s.onJobStart,
 		OnJobDone:    s.onJobDone,
+		CheckFence:   checkFence,
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -120,6 +139,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/specs", s.handleSpecs)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	if cfg.Control != nil {
+		mux.HandleFunc("POST /v1/lease", s.handleLease)
+		mux.HandleFunc("GET /v1/coordinator", s.handleCoordinator)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
 	s.mux = mux
@@ -244,6 +267,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Fleet {
+		if s.cfg.Fleet == nil || s.cfg.Control == nil {
+			writeError(w, http.StatusBadRequest,
+				errors.New("fleet batches need a fleet-managed daemon (electd -peers)"))
+			return
+		}
+		if !s.cfg.Control.IsCoordinator() {
+			st := s.cfg.Control.Status()
+			writeJSON(w, http.StatusConflict, client.ErrorResponse{
+				Error:       "not the coordinator",
+				Epoch:       st.Epoch,
+				Coordinator: st.Coordinator,
+			})
+			return
+		}
+		batch.Remote = s.cfg.Fleet.Runner(req.Options)
+	}
 	job, err := s.mgr.SubmitBatch(spec, batch, submitOpts(r, req.NoCache)...)
 	if err != nil {
 		writeSubmitError(w, err)
@@ -288,7 +328,28 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.mgr.SubmitChunk(spec, batch, req.Start, req.Count, submitOpts(r, req.NoCache)...)
+	fence := req.Fence
+	if fence == 0 {
+		// Header fallback so proxies (and curl reproductions) can fence
+		// without touching the body.
+		if v := r.Header.Get(client.FenceHeader); v != "" {
+			fence, _ = strconv.ParseUint(v, 10, 64)
+		}
+	}
+	if s.cfg.Control != nil {
+		// Fast pre-check before the chunk consumes a queue slot; jobs
+		// re-checks at execution start to close the queued-while-deposed
+		// window.
+		if err := s.cfg.Control.CheckFence(fence); err != nil {
+			writeFenceError(w, err)
+			return
+		}
+	}
+	sopts := submitOpts(r, req.NoCache)
+	if fence > 0 {
+		sopts = append(sopts, jobs.WithFence(fence))
+	}
+	job, err := s.mgr.SubmitChunk(spec, batch, req.Start, req.Count, sopts...)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -298,6 +359,11 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st := status(job); st.State != string(jobs.Done) {
+		var stale *control.StaleTokenError
+		if errors.As(job.Err(), &stale) {
+			writeFenceError(w, stale)
+			return
+		}
 		msg := st.Error
 		if msg == "" {
 			msg = "chunk " + st.State
@@ -627,7 +693,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Entries: cs.Entries,
 		}
 	}
+	if s.cfg.Control != nil {
+		st := s.cfg.Control.Status()
+		h.Role = string(st.Role)
+		h.Epoch = st.Epoch
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleLease is the grant side of the control plane: the body is a
+// campaign or renewal request, and the verdict comes straight from the
+// node's at-most-once-per-epoch rule. Timestamps use the control node's
+// clock so the chaos harness can drive this handler on virtual time.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req client.LeaseRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Holder == "" || req.Epoch == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("lease needs a holder and a nonzero epoch"))
+		return
+	}
+	resp := s.cfg.Control.HandleLease(req, s.cfg.Control.Now())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCoordinator answers who this daemon believes leads the fleet.
+func (s *Server) handleCoordinator(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Control.Status()
+	writeJSON(w, http.StatusOK, client.CoordinatorResponse{
+		Self:        s.cfg.Control.Self(),
+		Role:        string(st.Role),
+		Epoch:       st.Epoch,
+		Coordinator: st.Coordinator,
+	})
+}
+
+// writeFenceError maps a stale fencing token to the 409 the dispatch
+// fabric understands: the body carries the current epoch and believed
+// coordinator so the deposed dispatcher can resynchronize.
+func writeFenceError(w http.ResponseWriter, err error) {
+	resp := client.ErrorResponse{Error: err.Error()}
+	var stale *control.StaleTokenError
+	if errors.As(err, &stale) {
+		resp.Epoch = stale.Epoch
+		resp.Coordinator = stale.Coordinator
+	}
+	writeJSON(w, http.StatusConflict, resp)
 }
 
 // status converts a live job to its wire view.
