@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -86,7 +87,10 @@ func TestElectdHAFleet(t *testing.T) {
 	clients := make(map[string]*client.Client, 3)
 	kills := make(map[string]func(), 3)
 	for _, a := range addrs {
-		c, kill := startHADaemon(t, a, "-peers", peers, "-lease-ttl", ttl.String())
+		// One -state-file per daemon, as production runs: votes are durable,
+		// so there is no storeless startup voting grace to wait out.
+		c, kill := startHADaemon(t, a, "-peers", peers, "-lease-ttl", ttl.String(),
+			"-state-file", filepath.Join(t.TempDir(), "control-state.json"))
 		clients["http://"+a] = c
 		kills["http://"+a] = kill
 	}

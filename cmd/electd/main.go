@@ -20,8 +20,10 @@
 // they elect a dispatch coordinator among themselves using the public elect
 // API, the coordinator accepts {"fleet":true} batches and shards them over
 // the survivors with fencing tokens, and any daemon answers
-// GET /v1/coordinator with who currently leads. See the "High availability"
-// section of the README for a three-daemon walkthrough.
+// GET /v1/coordinator with who currently leads. Give each daemon a
+// -state-file so its lease votes survive kill -9 (without one, a restarted
+// daemon waits out one lease TTL before voting again). See the "High
+// availability" section of the README for a three-daemon walkthrough.
 //
 // See the "Serving elections" section of the README for the full API, and
 // cliquelect/elect/client for the Go client.
@@ -76,6 +78,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		peers        = fs.String("peers", "", "comma-separated fleet peer URLs (self included); enables the self-electing control plane")
 		leaseTTL     = fs.Duration("lease-ttl", control.DefaultLeaseTTL, "coordinator lease lifetime; a dead coordinator is replaced within one TTL")
 		advertise    = fs.String("advertise", "", "this daemon's URL as listed in -peers (empty = the bound listen address)")
+		stateFile    = fs.String("state-file", "", "durable control-plane vote state (JSON, one file per daemon); lease votes then stay at-most-once-per-epoch across kill -9 (empty = in-memory only, with a one-lease-TTL voting grace period after startup)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -123,13 +126,17 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 				peerList = append(peerList, u)
 			}
 		}
-		node, err = control.New(control.Config{
+		ctlCfg := control.Config{
 			Self:      self,
 			Peers:     peerList,
 			LeaseTTL:  *leaseTTL,
 			Transport: control.NewHTTPTransport(),
 			Logf:      logger.Printf,
-		})
+		}
+		if *stateFile != "" {
+			ctlCfg.Store = control.NewFileStore(*stateFile)
+		}
+		node, err = control.New(ctlCfg)
 		if err != nil {
 			return err
 		}
@@ -164,7 +171,11 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		ctlStop := make(chan struct{})
 		defer close(ctlStop)
 		go node.Run(ctlStop)
-		logger.Printf("control plane up: self=%s peers=%d lease-ttl=%s", node.Self(), len(node.Peers()), node.LeaseTTL())
+		state := *stateFile
+		if state == "" {
+			state = "memory (one-TTL startup voting grace)"
+		}
+		logger.Printf("control plane up: self=%s peers=%d lease-ttl=%s state=%s", node.Self(), len(node.Peers()), node.LeaseTTL(), state)
 	}
 
 	logger.Printf("serving on %s (cache: %s)", ln.Addr(), cacheDesc(*noCache, *cacheDir))

@@ -12,9 +12,17 @@
 // advances a virtual clock in fixed increments and ticks every live node in
 // sorted URL order, and lease RPCs are synchronous function calls, so a
 // scenario replays identically on every run and under -race. The dogfooded
-// elect.Run inside each campaign is the real protocol on the real live
-// engine — deterministic in (n, seed), which is exactly why the control
-// plane can use it.
+// elect.Run inside each campaign is the real protocol on the deterministic
+// async simulator engine — a pure function of (n, seed), which is exactly
+// why the control plane can use it (on EngineLive, goroutine scheduling
+// picks message order, and two candidates running the same election could
+// crown different leaders).
+//
+// Each node carries an in-memory Store that outlives its Node object, the
+// harness's stand-in for a daemon's -state-file: Kill/Revive pause a node
+// with its memory intact, Restart crash-reboots it from the store alone,
+// and RestartAmnesia reboots it with the store wiped — the rolling-restart
+// scenario the amnesia grace period exists for.
 package chaostest
 
 import (
@@ -54,6 +62,36 @@ func (c *Clock) Advance(d time.Duration) {
 	c.now = c.now.Add(d)
 }
 
+// memStore is the harness's durable store: in-memory control.State that
+// outlives the Node object it serves, so Restart can rebuild a node from
+// exactly what a real daemon's -state-file would hold.
+type memStore struct {
+	mu sync.Mutex
+	st control.State
+}
+
+func (s *memStore) Load() (control.State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyState(s.st), nil
+}
+
+func (s *memStore) Save(st control.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st = copyState(st)
+	return nil
+}
+
+func copyState(st control.State) control.State {
+	out := control.State{Epoch: st.Epoch, Holder: st.Holder,
+		Granted: make(map[uint64]string, len(st.Granted))}
+	for e, h := range st.Granted {
+		out.Granted[e] = h
+	}
+	return out
+}
+
 // Cluster is a virtual fleet: one control.Node per URL, all sharing one
 // virtual clock, wired through a scriptable network.
 type Cluster struct {
@@ -62,32 +100,33 @@ type Cluster struct {
 	urls  []string
 	nodes map[string]*control.Node
 
+	// stores holds each node's durable vote state; a nil entry marks a node
+	// whose "disk" was lost to RestartAmnesia, running storeless ever since.
+	stores map[string]*memStore
+
 	mu     sync.Mutex
 	down   map[string]bool
 	groups map[string]int // partition id per URL; nil = fully connected
 }
 
 // New builds a cluster of n nodes named node-0 .. node-(n-1), with the
-// given lease TTL.
+// given lease TTL. Every node gets a durable (in-memory) store, so there is
+// no startup amnesia grace and elections start immediately.
 func New(n int, ttl time.Duration) (*Cluster, error) {
 	c := &Cluster{
-		TTL:   ttl,
-		Clock: NewClock(),
-		nodes: make(map[string]*control.Node, n),
-		down:  make(map[string]bool, n),
+		TTL:    ttl,
+		Clock:  NewClock(),
+		nodes:  make(map[string]*control.Node, n),
+		stores: make(map[string]*memStore, n),
+		down:   make(map[string]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		c.urls = append(c.urls, fmt.Sprintf("http://node-%d", i))
 	}
 	sort.Strings(c.urls)
 	for _, url := range c.urls {
-		node, err := control.New(control.Config{
-			Self:      url,
-			Peers:     c.urls,
-			LeaseTTL:  ttl,
-			Transport: link{c: c, from: url},
-			Clock:     c.Clock,
-		})
+		c.stores[url] = &memStore{}
+		node, err := c.build(url)
 		if err != nil {
 			return nil, err
 		}
@@ -96,26 +135,72 @@ func New(n int, ttl time.Duration) (*Cluster, error) {
 	return c, nil
 }
 
+// build constructs a fresh control.Node for url over the cluster fabric,
+// loading whatever its store currently holds (nil store = storeless, so the
+// node observes control's amnesia grace period).
+func (c *Cluster) build(url string) (*control.Node, error) {
+	cfg := control.Config{
+		Self:      url,
+		Peers:     c.urls,
+		LeaseTTL:  c.TTL,
+		Transport: link{c: c, from: url},
+		Clock:     c.Clock,
+	}
+	if s := c.stores[url]; s != nil {
+		cfg.Store = s
+	}
+	return control.New(cfg)
+}
+
 // URLs is the sorted node list.
 func (c *Cluster) URLs() []string { return append([]string(nil), c.urls...) }
 
 // Node returns one node by URL.
 func (c *Cluster) Node(url string) *control.Node { return c.nodes[url] }
 
-// Kill takes a node off the network and stops ticking it — a kill -9, not
-// a graceful exit: its in-memory state (lease, epoch, token) survives for
-// Revive.
+// Kill takes a node off the network and stops ticking it. Its in-memory
+// state (lease copy, epoch, token) survives for Revive, so the pair models
+// a process that is wedged but alive — a SIGSTOP, a long GC pause, a hung
+// event loop — NOT a kill -9. For crash-and-reboot semantics, where memory
+// is lost and only the durable store remains, use Restart.
 func (c *Cluster) Kill(url string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.down[url] = true
 }
 
-// Revive brings a killed node back with the state it died with.
+// Revive resumes a Killed node exactly where it stopped.
 func (c *Cluster) Revive(url string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.down, url)
+}
+
+// Restart crash-reboots a node — real kill -9 semantics: the old Node
+// object is discarded with ALL in-memory state (lease copy, held-epoch log,
+// counters) and a fresh one is rebuilt from the durable store alone,
+// exactly like a daemon rebooting with its -state-file. The node returns to
+// the network if it was Killed.
+func (c *Cluster) Restart(url string) error {
+	node, err := c.build(url)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[url] = node
+	delete(c.down, url)
+	return nil
+}
+
+// RestartAmnesia crash-reboots a node with its durable store LOST — the
+// disk is gone, and the node runs storeless from here on, protected only by
+// control's amnesia grace period (no votes, no campaigns for one TTL after
+// each reboot). This is the rolling-restart scenario that would otherwise
+// mint a second quorum for an already-held epoch.
+func (c *Cluster) RestartAmnesia(url string) error {
+	c.stores[url] = nil
+	return c.Restart(url)
 }
 
 // Partition splits the network into the given groups: nodes in different
@@ -182,12 +267,23 @@ func (c *Cluster) Step(d time.Duration) {
 // a killed coordinator's in-memory lease is exactly the overlap window the
 // fencing invariant exists for.
 func (c *Cluster) Coordinator() string {
-	for _, url := range c.urls {
-		if c.nodes[url].IsCoordinator() {
-			return url
-		}
+	if coords := c.Coordinators(); len(coords) > 0 {
+		return coords[0]
 	}
 	return ""
+}
+
+// Coordinators returns every node currently holding a quorum-confirmed
+// lease. The safety theorem is that this never has two entries; the
+// restart tests assert it at every instant.
+func (c *Cluster) Coordinators() []string {
+	var out []string
+	for _, url := range c.urls {
+		if c.nodes[url].IsCoordinator() {
+			out = append(out, url)
+		}
+	}
+	return out
 }
 
 // DispatchChunk simulates the coordinator-side dispatch path: from stamps

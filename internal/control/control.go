@@ -14,6 +14,15 @@
 // most one node can ever hold a given epoch: split-brain cannot mint two
 // coordinators at the same epoch.
 //
+// That rule is only as durable as the votes: a node that forgets its vote
+// record across a restart could grant an already-held epoch a second time.
+// So votes are persisted through Config.Store (Raft-style, before the grant
+// is acknowledged) and reloaded on startup; a node running without a Store
+// compensates with an amnesia grace period — it casts no votes and runs no
+// campaigns for one full LeaseTTL after startup, long enough for any lease
+// its previous incarnation may have granted to expire, which keeps two
+// quorum-confirmed coordinators from ever being live at once.
+//
 // The epoch doubles as a monotonic fencing token, stamped on every chunk a
 // coordinator dispatches (internal/distrib) and checked by every worker
 // (CheckFence, wired through internal/jobs and internal/service): a deposed
@@ -106,6 +115,12 @@ type Config struct {
 	// Clock supplies the node's time; nil means wall time. The chaos
 	// harness injects a virtual clock here.
 	Clock Clock
+	// Store persists the vote record (epoch + per-epoch grants) before any
+	// grant is acknowledged, so the at-most-once-per-epoch rule survives
+	// kill -9. Nil means in-memory only; the node then refuses to vote or
+	// campaign for one full LeaseTTL after startup (the amnesia grace
+	// period), trading bootstrap latency for restart safety.
+	Store Store
 	// Spec names the election protocol deciding campaign winners; empty
 	// means DefaultSpec. It must be registered, deterministic, and support
 	// the simulator engine the winner computation runs on.
@@ -162,11 +177,12 @@ type Node struct {
 	peers []string // sorted, self included
 	spec  elect.Spec
 
-	mu      sync.Mutex
-	epoch   uint64    // highest epoch this node voted on or adopted
-	holder  string    // who the epoch vote went to (or adopted holder)
-	expires time.Time // lease expiry as last heard
-	leading bool      // this node holds a quorum-confirmed lease
+	mu         sync.Mutex
+	epoch      uint64    // highest epoch this node voted on or adopted
+	holder     string    // who the epoch vote went to (or adopted holder)
+	expires    time.Time // lease expiry as last heard
+	leading    bool      // this node holds a quorum-confirmed lease
+	graceUntil time.Time // storeless amnesia guard: no votes or campaigns before this
 
 	suspect      int       // consecutive failed probes of the holder
 	lastProbe    time.Time // follower: last holder probe
@@ -221,14 +237,37 @@ func New(cfg Config) (*Node, error) {
 	if clock == nil {
 		clock = realClock{}
 	}
-	return &Node{
+	n := &Node{
 		cfg:     cfg,
 		clock:   clock,
 		ttl:     cfg.LeaseTTL,
 		peers:   peers,
 		spec:    spec,
 		granted: make(map[uint64]string),
-	}, nil
+	}
+	if cfg.Store != nil {
+		st, err := cfg.Store.Load()
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
+		n.epoch = st.Epoch
+		n.holder = st.Holder
+		for e, h := range st.Granted {
+			n.granted[e] = h
+		}
+		if st.Holder != "" {
+			// Assume the incumbent's lease is live: worst case this node
+			// waits one TTL before campaigning, instead of deposing a
+			// healthy coordinator on every reboot.
+			n.expires = clock.Now().Add(cfg.LeaseTTL)
+		}
+	} else {
+		// No durable vote record: sit out one full TTL so every lease the
+		// previous incarnation of this process could have granted has
+		// expired before this one votes or campaigns again.
+		n.graceUntil = clock.Now().Add(cfg.LeaseTTL)
+	}
+	return n, nil
 }
 
 // Self is this node's URL in the peer set.
@@ -318,19 +357,28 @@ func (n *Node) Grants() map[uint64]string {
 }
 
 // HandleLease is the grant decision — the server side of POST /v1/lease,
-// and the path a campaigning node's own vote takes too, so self-votes and
-// peer votes share one at-most-once-per-epoch rule:
+// gated by the same vote record a campaigner's staged self-vote uses, so
+// self-votes and peer votes share one at-most-once-per-epoch rule:
 //
-//   - a request for a NEWER epoch is granted (and recorded as this node's
-//     single vote for that epoch; a coordinator granting away is deposed),
+//   - a request for a NEWER epoch this node has not voted away is granted —
+//     persisted as this node's single vote for that epoch BEFORE the reply,
+//     so the vote survives kill -9 (a coordinator granting away is deposed),
 //   - a request matching the current epoch AND holder is a renewal,
-//   - everything else is rejected, answering the current epoch and holder
-//     so stale campaigners resynchronize.
+//   - everything else — stale epochs, conflicting votes, any new vote
+//     inside the startup amnesia grace — is rejected, answering the current
+//     epoch and holder so stale campaigners resynchronize.
 func (n *Node) HandleLease(req client.LeaseRequest, now time.Time) client.LeaseResponse {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	switch {
-	case req.Epoch > n.epoch && req.Holder != "":
+	case req.Epoch > n.epoch && req.Holder != "" && n.voteFreeLocked(req.Epoch, req.Holder) && !now.Before(n.graceUntil):
+		if err := n.saveLocked(req.Epoch, req.Holder, req.Epoch, req.Holder); err != nil {
+			// An unpersisted vote is an uncast vote: reject rather than
+			// acknowledge a grant a restart could forget.
+			n.rejects++
+			n.logf("control: refusing epoch %d to %s: persist failed: %v", req.Epoch, req.Holder, err)
+			return client.LeaseResponse{Granted: false, Epoch: n.epoch, Holder: n.holder}
+		}
 		deposed := n.leading && req.Holder != n.cfg.Self
 		n.epoch = req.Epoch
 		n.holder = req.Holder
@@ -355,6 +403,32 @@ func (n *Node) HandleLease(req client.LeaseRequest, now time.Time) client.LeaseR
 		n.rejects++
 		return client.LeaseResponse{Granted: false, Epoch: n.epoch, Holder: n.holder}
 	}
+}
+
+// voteFreeLocked reports whether this node can still vote epoch to holder:
+// either no vote for that epoch exists, or the standing vote already names
+// the same holder (grants are idempotent per (epoch, holder)).
+func (n *Node) voteFreeLocked(epoch uint64, holder string) bool {
+	v, ok := n.granted[epoch]
+	return !ok || v == holder
+}
+
+// saveLocked persists the prospective durable state — current vote record
+// plus the pending (voteEpoch → voteHolder) vote under the prospective
+// epoch/holder — through the Store, before the caller acts on it. Nil Store
+// means nothing to do. Called with n.mu held.
+func (n *Node) saveLocked(epoch uint64, holder string, voteEpoch uint64, voteHolder string) error {
+	if n.cfg.Store == nil {
+		return nil
+	}
+	st := State{Epoch: epoch, Holder: holder, Granted: make(map[uint64]string, len(n.granted)+1)}
+	for e, h := range n.granted {
+		st.Granted[e] = h
+	}
+	if voteEpoch != 0 {
+		st.Granted[voteEpoch] = voteHolder
+	}
+	return n.cfg.Store.Save(st)
 }
 
 // CheckFence accepts or rejects a dispatched chunk's fencing token: tokens
@@ -435,16 +509,46 @@ func (n *Node) renew(now time.Time, epoch uint64) {
 	n.lastRenew = now
 	n.mu.Unlock()
 
-	req := client.LeaseRequest{Epoch: epoch, Holder: n.cfg.Self}
-	granted := 1 // our own standing vote for this epoch
-	for _, p := range n.peers {
+	// Own standing vote plus one concurrent fan-out round: the round costs
+	// one RPC timeout no matter how many peers are unreachable, so renewal
+	// always lands well inside the TTL/3 cadence.
+	granted := 1 + n.fanLease(now, client.LeaseRequest{Epoch: epoch, Holder: n.cfg.Self})
+	if granted >= n.quorum() {
+		n.mu.Lock()
+		if n.leading && n.epoch == epoch {
+			n.expires = now.Add(n.ttl)
+		}
+		n.mu.Unlock()
+	}
+}
+
+// fanLease delivers req to every peer but self concurrently — one slow or
+// dead peer no longer stretches a round by a whole RPC timeout — then
+// applies the responses in sorted peer order, so the chaos harness replays
+// identically: grants are tallied, rejections revealing a newer epoch
+// adopted. Returns the number of peer grants (own vote excluded).
+func (n *Node) fanLease(now time.Time, req client.LeaseRequest) int {
+	resps := make([]*client.LeaseResponse, len(n.peers))
+	var wg sync.WaitGroup
+	for i, p := range n.peers {
 		if p == n.cfg.Self {
 			continue
 		}
-		ctx, cancel := n.rpcCtx()
-		resp, err := n.cfg.Transport.Lease(ctx, p, req)
-		cancel()
-		if err != nil || resp == nil {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			ctx, cancel := n.rpcCtx()
+			resp, err := n.cfg.Transport.Lease(ctx, p, req)
+			cancel()
+			if err == nil {
+				resps[i] = resp
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	granted := 0
+	for _, resp := range resps {
+		if resp == nil {
 			continue
 		}
 		if resp.Granted {
@@ -453,13 +557,35 @@ func (n *Node) renew(now time.Time, epoch uint64) {
 			n.adopt(now, resp)
 		}
 	}
-	if granted >= n.quorum() {
-		n.mu.Lock()
-		if n.leading && n.epoch == epoch {
-			n.expires = now.Add(n.ttl)
+	return granted
+}
+
+// probeLive probes every peer concurrently and returns the live view, self
+// included, in sorted order.
+func (n *Node) probeLive() []string {
+	up := make([]bool, len(n.peers))
+	var wg sync.WaitGroup
+	for i, p := range n.peers {
+		if p == n.cfg.Self {
+			continue
 		}
-		n.mu.Unlock()
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			ctx, cancel := n.rpcCtx()
+			up[i] = n.cfg.Transport.Probe(ctx, p) == nil
+			cancel()
+		}(i, p)
 	}
+	wg.Wait()
+	live := []string{n.cfg.Self}
+	for i, p := range n.peers {
+		if p != n.cfg.Self && up[i] {
+			live = append(live, p)
+		}
+	}
+	sort.Strings(live)
+	return live
 }
 
 // watch is the follower's fast failure detector: probe the lease holder
@@ -496,11 +622,17 @@ func (n *Node) watch(now time.Time, holder string) {
 
 // campaign runs one leadership attempt: probe the fleet, let the elect
 // protocol pick the winner among the live peers, and — only if this node
-// IS the winner — vote for itself and collect a quorum of grants for the
-// next epoch. Losing candidates simply stand down; they will be granted to
-// by the winner's campaign or retry next tick.
+// IS the winner — stage a vote for itself and collect a quorum of grants
+// for the next epoch. Losing candidates simply stand down; they will be
+// granted to by the winner's campaign or retry next tick.
 func (n *Node) campaign(now time.Time) {
 	n.mu.Lock()
+	if now.Before(n.graceUntil) {
+		// Amnesia guard (no Config.Store): a pre-restart incarnation of this
+		// process may have votes outstanding that this one cannot remember.
+		n.mu.Unlock()
+		return
+	}
 	if now.Sub(n.lastCampaign) < n.ttl/6 {
 		n.mu.Unlock()
 		return
@@ -509,17 +641,7 @@ func (n *Node) campaign(now time.Time) {
 	next := n.epoch + 1
 	n.mu.Unlock()
 
-	live := []string{n.cfg.Self}
-	for _, p := range n.peers {
-		if p == n.cfg.Self {
-			continue
-		}
-		ctx, cancel := n.rpcCtx()
-		if n.cfg.Transport.Probe(ctx, p) == nil {
-			live = append(live, p)
-		}
-		cancel()
-	}
+	live := n.probeLive()
 	// Pre-vote gate: with fewer than a quorum reachable no campaign can
 	// win, and self-voting anyway would inflate this node's epoch in
 	// isolation — a minority partition would then surface tokens NEWER than
@@ -534,39 +656,45 @@ func (n *Node) campaign(now time.Time) {
 		return
 	}
 
-	// Vote for ourselves through the same at-most-once gate peers use: if
-	// another candidate's request for an epoch >= next already landed here,
-	// our own vote fails and the campaign is over.
-	self := client.LeaseRequest{Epoch: next, Holder: n.cfg.Self}
-	if resp := n.HandleLease(self, now); !resp.Granted {
+	// Stage our own vote through the same at-most-once record peers use,
+	// WITHOUT adopting ourselves as epoch/holder: until a quorum confirms,
+	// Status and Token must keep reporting the old lease, or /v1/coordinator
+	// and the 409 redirects would point clients at a campaigner that will
+	// itself 409 them. If a request for an epoch >= next already landed
+	// here, the vote fails and the campaign is over.
+	n.mu.Lock()
+	if next <= n.epoch || !n.voteFreeLocked(next, n.cfg.Self) {
+		n.mu.Unlock()
 		return
 	}
-	granted := 1
-	for _, p := range n.peers {
-		if p == n.cfg.Self {
-			continue
-		}
-		ctx, cancel := n.rpcCtx()
-		resp, err := n.cfg.Transport.Lease(ctx, p, self)
-		cancel()
-		if err != nil || resp == nil {
-			continue
-		}
-		if resp.Granted {
-			granted++
-		} else {
-			n.adopt(now, resp)
-		}
+	if err := n.saveLocked(n.epoch, n.holder, next, n.cfg.Self); err != nil {
+		n.mu.Unlock()
+		n.logf("control: abandoning campaign for epoch %d: persist failed: %v", next, err)
+		return
 	}
+	n.granted[next] = n.cfg.Self
+	n.grants++
+	n.mu.Unlock()
+
+	granted := 1 + n.fanLease(now, client.LeaseRequest{Epoch: next, Holder: n.cfg.Self})
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if granted >= n.quorum() && n.epoch == next && n.holder == n.cfg.Self {
+	// Commit only if nothing newer was adopted while the round ran; the
+	// staged vote itself stands either way (it was promised to peers' view
+	// of epoch `next` the moment it was persisted).
+	if granted >= n.quorum() && next > n.epoch && n.granted[next] == n.cfg.Self {
+		n.epoch = next
+		n.holder = n.cfg.Self
 		n.leading = true
 		n.expires = now.Add(n.ttl)
+		n.suspect = 0
 		n.lastRenew = now
 		n.elections++
 		n.held = append(n.held, next)
+		if err := n.saveLocked(n.epoch, n.holder, 0, ""); err != nil {
+			n.logf("control: persisting epoch %d win failed: %v", next, err)
+		}
 		n.logf("control: won epoch %d with %d/%d grants (%d live peers)",
 			next, granted, len(n.peers), len(live))
 	}
@@ -579,6 +707,12 @@ func (n *Node) adopt(now time.Time, resp *client.LeaseResponse) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if resp.Epoch <= n.epoch {
+		return
+	}
+	if err := n.saveLocked(resp.Epoch, resp.Holder, 0, ""); err != nil {
+		// Staying behind is safe (rejections will keep arriving); adopting
+		// an epoch a restart would forget is not.
+		n.logf("control: not adopting epoch %d: persist failed: %v", resp.Epoch, err)
 		return
 	}
 	if n.leading {

@@ -31,6 +31,9 @@ func newTestNode(t *testing.T, self string, peers ...string) (*Node, *fixedClock
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Storeless nodes observe the amnesia grace period — no votes for one
+	// TTL after startup. These are steady-state tests, so start past it.
+	clock.t = clock.t.Add(n.ttl)
 	return n, clock
 }
 
@@ -208,6 +211,167 @@ func TestElectWinnerDeterministicAndLiveBound(t *testing.T) {
 	// A lone candidate always wins its own view.
 	if w := n.electWinner([]string{"http://a"}, 9); w != "http://a" {
 		t.Fatalf("singleton view winner %q", w)
+	}
+}
+
+// memStore is an in-memory Store for restart tests: state survives node
+// rebuilds, and Save can be forced to fail to exercise the
+// persist-before-grant rule.
+type memStore struct {
+	st   State
+	fail bool
+}
+
+func (s *memStore) Load() (State, error) { return copyState(s.st), nil }
+
+func (s *memStore) Save(st State) error {
+	if s.fail {
+		return errors.New("disk full")
+	}
+	s.st = copyState(st)
+	return nil
+}
+
+func copyState(st State) State {
+	out := State{Epoch: st.Epoch, Holder: st.Holder, Granted: make(map[uint64]string, len(st.Granted))}
+	for e, h := range st.Granted {
+		out.Granted[e] = h
+	}
+	return out
+}
+
+// TestVotesSurviveRestart is the rolling-restart split-brain regression: a
+// node rebuilt from its Store must refuse to grant an epoch it already
+// voted away before the crash.
+func TestVotesSurviveRestart(t *testing.T) {
+	clock := &fixedClock{t: time.Unix(1000, 0)}
+	store := &memStore{}
+	cfg := Config{Self: "http://a", Peers: []string{"http://b", "http://c"},
+		Transport: nopTransport{}, Clock: clock, Store: store}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://b"}, clock.Now()).Granted {
+		t.Fatal("fresh grant rejected")
+	}
+	if !n.HandleLease(client.LeaseRequest{Epoch: 2, Holder: "http://c"}, clock.Now()).Granted {
+		t.Fatal("newer grant rejected")
+	}
+
+	// kill -9 + reboot: a brand-new Node over the same Store.
+	n, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Status(); st.Epoch != 2 || st.Coordinator != "http://c" {
+		t.Fatalf("restarted node forgot its state: %+v", st)
+	}
+	if votes := n.Grants(); votes[1] != "http://b" || votes[2] != "http://c" {
+		t.Fatalf("restarted node forgot its votes: %v", votes)
+	}
+	// The exact split-brain seed: re-granting a pre-crash epoch to a rival.
+	if n.HandleLease(client.LeaseRequest{Epoch: 2, Holder: "http://rival"}, clock.Now()).Granted {
+		t.Fatal("restarted node granted an already-voted epoch to a rival")
+	}
+	// With a Store there is no amnesia grace: a genuinely newer epoch is
+	// granted immediately after the restart.
+	if !n.HandleLease(client.LeaseRequest{Epoch: 3, Holder: "http://b"}, clock.Now()).Granted {
+		t.Fatal("restarted node refused a newer epoch")
+	}
+}
+
+// TestPersistFailureRefusesGrant: a vote that cannot be made durable is not
+// cast — the grant is refused and local state stays untouched.
+func TestPersistFailureRefusesGrant(t *testing.T) {
+	clock := &fixedClock{t: time.Unix(1000, 0)}
+	store := &memStore{fail: true}
+	n, err := New(Config{Self: "http://a", Peers: []string{"http://b", "http://c"},
+		Transport: nopTransport{}, Clock: clock, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://b"}, clock.Now()).Granted {
+		t.Fatal("grant acknowledged without durable vote")
+	}
+	if st := n.Status(); st.Epoch != 0 || st.Grants != 0 || st.Rejects != 1 {
+		t.Fatalf("state mutated by refused grant: %+v", st)
+	}
+	store.fail = false
+	if !n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://b"}, clock.Now()).Granted {
+		t.Fatal("grant refused after store recovered")
+	}
+}
+
+// TestAmnesiaGraceRefusesVotes: a storeless node casts no votes and runs no
+// campaigns for one full TTL after startup — the degraded-mode guard
+// against forgetting pre-restart votes.
+func TestAmnesiaGraceRefusesVotes(t *testing.T) {
+	clock := &fixedClock{t: time.Unix(1000, 0)}
+	n, err := New(Config{Self: "http://a", Transport: nopTransport{}, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://b"}, clock.Now()).Granted {
+		t.Fatal("vote cast inside the amnesia grace period")
+	}
+	// A single-node fleet would win its own campaign instantly — but not
+	// during the grace.
+	n.campaign(clock.Now())
+	if n.IsCoordinator() || n.Token() != 0 {
+		t.Fatal("campaign won inside the amnesia grace period")
+	}
+	clock.t = clock.t.Add(n.ttl)
+	n.campaign(clock.Now())
+	if !n.IsCoordinator() || n.Token() != 1 {
+		t.Fatalf("campaign after grace: coordinator=%v token=%d, want true/1",
+			n.IsCoordinator(), n.Token())
+	}
+}
+
+// probeOnlyTransport reaches every peer but fails every lease RPC — a
+// campaigner under it wins the pre-vote and the election, then collects
+// zero grants.
+type probeOnlyTransport struct{}
+
+func (probeOnlyTransport) Probe(ctx context.Context, peer string) error { return nil }
+func (probeOnlyTransport) Lease(ctx context.Context, peer string, req client.LeaseRequest) (*client.LeaseResponse, error) {
+	return nil, errors.New("lease RPCs down")
+}
+
+// TestFailedCampaignKeepsStatusClean: a campaign that cannot assemble a
+// quorum must leave Status/Token reporting the OLD lease — the staged
+// self-vote must not surface this node as coordinator to /v1/coordinator
+// or the 409 redirects while leading is false.
+func TestFailedCampaignKeepsStatusClean(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	clock := &fixedClock{t: time.Unix(1000, 0)}
+	// The election winner for this live view is deterministic; BE that node,
+	// so the campaign passes the winner gate and reaches the doomed round.
+	scout, err := New(Config{Self: peers[0], Peers: peers, Transport: probeOnlyTransport{}, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := scout.electWinner(append([]string(nil), peers...), 1)
+	n, err := New(Config{Self: winner, Peers: peers, Transport: probeOnlyTransport{}, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.t = clock.t.Add(n.ttl) // past the storeless grace
+
+	n.campaign(clock.Now())
+	if st := n.Status(); st.Role != RoleWorker || st.Coordinator != "" || st.Epoch != 0 {
+		t.Fatalf("failed campaign leaked into status: %+v", st)
+	}
+	if n.Token() != 0 {
+		t.Fatalf("failed campaign inflated the fencing token to %d", n.Token())
+	}
+	// The staged vote itself stands: epoch 1 is promised to this node.
+	if n.HandleLease(client.LeaseRequest{Epoch: 1, Holder: "http://rival"}, clock.Now()).Granted {
+		t.Fatal("staged epoch granted away to a rival")
+	}
+	if votes := n.Grants(); votes[1] != winner {
+		t.Fatalf("staged vote record %v, want epoch 1 → %s", votes, winner)
 	}
 }
 

@@ -1,0 +1,55 @@
+package control
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "state.json")
+	s := NewFileStore(path)
+
+	// Missing file is a clean zero state, not an error.
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 0 || st.Holder != "" || len(st.Granted) != 0 {
+		t.Fatalf("zero load = %+v", st)
+	}
+
+	want := State{Epoch: 7, Holder: "http://b", Granted: map[uint64]string{6: "http://a", 7: "http://b"}}
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same path sees the saved state.
+	got, err := NewFileStore(path).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != want.Epoch || got.Holder != want.Holder ||
+		got.Granted[6] != "http://a" || got.Granted[7] != "http://b" {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	// No temp-file droppings after a successful save.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestFileStoreCorruptIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(path).Load(); err == nil {
+		t.Fatal("corrupt state file loaded silently")
+	}
+	// And New refuses to build a node over it: starting with forgotten
+	// votes is the split-brain seed.
+	if _, err := New(Config{Self: "http://a", Transport: nopTransport{},
+		Store: NewFileStore(path)}); err == nil {
+		t.Fatal("node built over a corrupt state file")
+	}
+}

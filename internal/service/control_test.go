@@ -192,6 +192,21 @@ func TestChunkFenceHeaderFallback(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("header-fenced stale chunk: %d, want 409", resp.StatusCode)
 	}
+
+	// A malformed fence header is a 400 — it must NOT degrade to token 0,
+	// which would sail through fencing as an unfenced legacy dispatch.
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/chunk",
+		strings.NewReader(`{"spec":"tradeoff","ns":[16],"seeds":[1],"start":0,"count":1}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(client.FenceHeader, "not-a-token")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed fence header: %d, want 400", resp.StatusCode)
+	}
 }
 
 func assertMetric(t *testing.T, body, name, want string) {

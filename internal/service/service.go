@@ -331,9 +331,17 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	fence := req.Fence
 	if fence == 0 {
 		// Header fallback so proxies (and curl reproductions) can fence
-		// without touching the body.
+		// without touching the body. A malformed header is a 400, not an
+		// unfenced dispatch: silently degrading to token 0 would turn a
+		// mangled fencing header into an always-accepted chunk.
 		if v := r.Header.Get(client.FenceHeader); v != "" {
-			fence, _ = strconv.ParseUint(v, 10, 64)
+			f, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("malformed %s header %q: %w", client.FenceHeader, v, err))
+				return
+			}
+			fence = f
 		}
 	}
 	if s.cfg.Control != nil {
