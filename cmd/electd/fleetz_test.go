@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cliquelect/elect/client"
+)
+
+// TestElectdFleetz is the control-room acceptance test: a three-daemon HA
+// fleet elects a coordinator, and GET /v1/fleetz from any member reports
+// all three nodes with exactly one coordinator at a matching epoch, a
+// health verdict per node, and the election visible in the merged journal.
+func TestElectdFleetz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon election on wall-clock leases")
+	}
+	const ttl = 6 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	addrs := []string{reservePort(t), reservePort(t), reservePort(t)}
+	var peerURLs []string
+	for _, a := range addrs {
+		peerURLs = append(peerURLs, "http://"+a)
+	}
+	peers := strings.Join(peerURLs, ",")
+
+	clients := make(map[string]*client.Client, 3)
+	for _, a := range addrs {
+		c, _ := startHADaemon(t, a, "-peers", peers, "-lease-ttl", ttl.String(),
+			"-state-file", filepath.Join(t.TempDir(), "control-state.json"))
+		clients["http://"+a] = c
+	}
+	coord := awaitCoordinator(t, ctx, clients, "", 5*ttl)
+
+	// Ask a NON-coordinator for the fleet snapshot: federation must not
+	// depend on asking the lease holder.
+	var viewer *client.Client
+	for url, c := range clients {
+		if url != coord {
+			viewer = c
+			break
+		}
+	}
+	fz, err := viewer.Fleetz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fz.Nodes) != 3 {
+		t.Fatalf("fleetz has %d nodes, want 3: %+v", len(fz.Nodes), fz.Nodes)
+	}
+	coordinators := 0
+	for _, n := range fz.Nodes {
+		if !n.Reachable {
+			t.Fatalf("node %s unreachable in a healthy fleet: %s", n.URL, n.Err)
+		}
+		if n.Role == "coordinator" {
+			coordinators++
+			if n.URL != coord {
+				t.Fatalf("fleetz coordinator %s, cluster agreed on %s", n.URL, coord)
+			}
+		}
+		if n.Epoch != fz.Epoch {
+			t.Fatalf("node %s at epoch %d, fleet at %d", n.URL, n.Epoch, fz.Epoch)
+		}
+		if n.SLO == nil || n.SLO.Verdict == "" {
+			t.Fatalf("node %s has no SLO verdict", n.URL)
+		}
+	}
+	if coordinators != 1 || fz.Coordinators != 1 {
+		t.Fatalf("saw %d coordinator roles (roll-up %d), want exactly 1", coordinators, fz.Coordinators)
+	}
+	if !fz.EpochAgreement {
+		t.Fatalf("epoch disagreement in a settled fleet: %+v", fz)
+	}
+	if fz.Health == "" {
+		t.Fatal("fleet snapshot has no health verdict")
+	}
+
+	// The election that made the coordinator is in its journal, and the
+	// merged fleet timeline carries it too.
+	ev, err := clients[coord].Events(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won := false
+	for _, e := range ev.Events {
+		if e.Kind == "campaign.won" {
+			won = true
+		}
+	}
+	if !won {
+		t.Fatalf("coordinator journal has no campaign.won: %+v", ev.Events)
+	}
+	merged := false
+	for _, e := range fz.Events {
+		if e.Kind == "campaign.won" || e.Kind == "lease.grant" {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Fatalf("fleet timeline carries no election events: %+v", fz.Events)
+	}
+}

@@ -15,6 +15,9 @@
 //	curl -s localhost:8090/metrics
 //	curl -s localhost:8090/v1/traces
 //	curl -s localhost:8090/v1/traces/<trace-id>   # id from any X-Trace-Id header
+//	curl -s localhost:8090/v1/events              # the event journal (?since=&limit=)
+//	curl -N localhost:8090/v1/events/stream       # …streamed over SSE
+//	curl -s localhost:8090/v1/fleetz              # federated fleet status (electtop renders it)
 //
 // With -peers, daemons form a self-electing HA fleet (internal/control):
 // they elect a dispatch coordinator among themselves using the public elect
@@ -74,6 +77,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 		quiet        = fs.Bool("quiet", false, "suppress per-request logging")
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceSpans   = fs.Int("trace-spans", 0, "request-trace span buffer capacity behind /v1/traces (0 = default, negative = disable tracing)")
+		events       = fs.Int("events", 0, "event-journal capacity behind /v1/events (0 = default, negative = disable journaling)")
 		instance     = fs.String("instance", "", "daemon name in trace spans, so merged fleet traces tell workers apart (empty = the listen address)")
 		peers        = fs.String("peers", "", "comma-separated fleet peer URLs (self included); enables the self-electing control plane")
 		leaseTTL     = fs.Duration("lease-ttl", control.DefaultLeaseTTL, "coordinator lease lifetime; a dead coordinator is replaced within one TTL")
@@ -87,7 +91,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 
 	cfg := service.Config{
 		Workers: *workers, QueueDepth: *queue, BatchWorkers: *batchWorkers,
-		TraceSpans: *traceSpans, Instance: *instance,
+		TraceSpans: *traceSpans, Events: *events, Instance: *instance,
 	}
 	if cfg.Instance == "" {
 		cfg.Instance = *addr
@@ -166,8 +170,12 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 
 	srv := service.New(cfg)
 	defer srv.Close()
+	if cfg.Fleet != nil {
+		cfg.Fleet.SetEvents(srv.Events())
+	}
 	if node != nil {
 		node.SetSpans(srv.Spans())
+		node.SetEvents(srv.Events())
 		ctlStop := make(chan struct{})
 		defer close(ctlStop)
 		go node.Run(ctlStop)

@@ -1,0 +1,309 @@
+// Command electtop is the fleet control room: a dependency-free terminal
+// dashboard over GET /v1/fleetz. It polls one daemon (any member — the
+// daemon federates the rest) and renders the whole fleet: per-node role,
+// epoch, SLO health, load and memory, a queue-depth sparkline per node,
+// per-route latency quantiles, and a tail of the merged fleet event
+// journal.
+//
+//	electtop -addr http://localhost:8090
+//	electtop -addr http://localhost:8090 -once   # one plain-text frame (CI, scripts)
+//
+// Live mode redraws in place with ANSI escapes at -interval. -once prints a
+// single frame without any escape codes and exits — that output is what the
+// CI obs-smoke job diffs against /v1/fleetz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cliquelect/elect/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "electtop:", err)
+		os.Exit(1)
+	}
+}
+
+// sparkMarks are the eight sparkline levels, lowest to highest.
+var sparkMarks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkWidth is how many samples each node's load sparkline holds.
+const sparkWidth = 30
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("electtop", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://localhost:8090", "any fleet daemon's base URL")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval in live mode")
+		once     = fs.Bool("once", false, "print one plain frame (no ANSI) and exit")
+		events   = fs.Int("events", 10, "journal tail length")
+		frames   = fs.Int("frames", 0, "stop after N live frames (0 = run until interrupted; scripting hook)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := client.New(*addr)
+	if *once {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		fz, err := c.Fleetz(ctx)
+		if err != nil {
+			return err
+		}
+		render(w, fz, nil, *events)
+		return nil
+	}
+
+	history := map[string][]int{}
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fz, err := c.Fleetz(ctx)
+		cancel()
+		// Home + clear: redraw in place rather than scroll.
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Fprintf(w, "electtop: %s unreachable: %v (retrying every %s)\n", *addr, err, *interval)
+			continue
+		}
+		for _, node := range fz.Nodes {
+			h := append(history[node.URL], node.QueueDepth+node.ActiveJobs)
+			if len(h) > sparkWidth {
+				h = h[len(h)-sparkWidth:]
+			}
+			history[node.URL] = h
+		}
+		render(w, fz, history, *events)
+	}
+	return nil
+}
+
+// render writes one frame: the fleet header, the node table, the route
+// table and the event tail. history is nil in -once mode (no sparklines —
+// one frame has no history to draw).
+func render(w io.Writer, fz *client.FleetzResponse, history map[string][]int, eventTail int) {
+	ts := time.UnixMicro(fz.TSUS).Format("15:04:05")
+	coord := fz.Coordinator
+	if coord == "" {
+		coord = "(none)"
+	}
+	agree := "epochs agree"
+	if !fz.EpochAgreement {
+		agree = "EPOCH SPLIT"
+	}
+	fmt.Fprintf(w, "electd fleet — %d nodes · coordinator %s (epoch %d, %d claiming) · health %s · %s · %s\n\n",
+		len(fz.Nodes), coord, fz.Epoch, fz.Coordinators, strings.ToUpper(fz.Health), agree, ts)
+
+	tw := newTable(w)
+	header := []string{"NODE", "ROLE", "EPOCH", "HEALTH", "BURN", "QUEUE", "ACTIVE", "CACHE%", "RSS", "GORO", "UP"}
+	if history != nil {
+		header = append(header, "LOAD")
+	}
+	tw.row(header...)
+	for _, n := range fz.Nodes {
+		if !n.Reachable {
+			tw.row(n.URL, "UNREACHABLE", "-", "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		role := n.Role
+		if role == "" {
+			role = "standalone"
+		}
+		health, burn := "-", "-"
+		if n.SLO != nil {
+			health = n.SLO.Verdict
+			burn = fmt.Sprintf("%.2f", n.SLO.BurnRate)
+		}
+		cache := "-"
+		if n.CacheHitRatio >= 0 {
+			cache = fmt.Sprintf("%.1f", n.CacheHitRatio*100)
+		}
+		row := []string{
+			n.URL, role, fmt.Sprintf("%d", n.Epoch), health, burn,
+			fmt.Sprintf("%d", n.QueueDepth), fmt.Sprintf("%d", n.ActiveJobs),
+			cache, fmtBytes(n.RSSBytes), fmt.Sprintf("%d", n.Goroutines),
+			fmtDur(time.Duration(n.UptimeSeconds * float64(time.Second))),
+		}
+		if history != nil {
+			row = append(row, sparkline(history[n.URL]))
+		}
+		tw.row(row...)
+	}
+	tw.flush()
+
+	routes := mergeRoutes(fz.Nodes)
+	if len(routes) > 0 {
+		fmt.Fprintf(w, "\n")
+		tw = newTable(w)
+		tw.row("ROUTE", "REQS", "5XX", "P50", "P99")
+		for _, rt := range routes {
+			tw.row(rt.Route, fmt.Sprintf("%d", rt.Requests), fmt.Sprintf("%d", rt.Errors),
+				fmtMs(rt.P50Ms), fmtMs(rt.P99Ms))
+		}
+		tw.flush()
+	}
+
+	if eventTail > 0 && len(fz.Events) > 0 {
+		fmt.Fprintf(w, "\nEVENTS\n")
+		evs := fz.Events
+		if len(evs) > eventTail {
+			evs = evs[len(evs)-eventTail:]
+		}
+		for _, e := range evs {
+			fmt.Fprintf(w, "  %s %-18s %-16s %s\n",
+				time.UnixMicro(e.TS).Format("15:04:05.000"), e.Node, e.Kind, fmtFields(e.Fields))
+		}
+	}
+}
+
+// mergeRoutes sums route digests across nodes (quantiles keep each route's
+// worst node — a control room surfaces the slowest replica, not the mean).
+func mergeRoutes(nodes []client.NodeStatus) []client.RouteStats {
+	agg := map[string]*client.RouteStats{}
+	for _, n := range nodes {
+		for _, rt := range n.Routes {
+			a := agg[rt.Route]
+			if a == nil {
+				a = &client.RouteStats{Route: rt.Route}
+				agg[rt.Route] = a
+			}
+			a.Requests += rt.Requests
+			a.Errors += rt.Errors
+			a.P50Ms = max(a.P50Ms, rt.P50Ms)
+			a.P99Ms = max(a.P99Ms, rt.P99Ms)
+		}
+	}
+	out := make([]client.RouteStats, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Route < out[j].Route
+	})
+	return out
+}
+
+// sparkline renders samples as one bar rune each, scaled to the window max.
+func sparkline(samples []int) string {
+	if len(samples) == 0 {
+		return ""
+	}
+	top := 1
+	for _, s := range samples {
+		if s > top {
+			top = s
+		}
+	}
+	var b strings.Builder
+	for _, s := range samples {
+		if s < 0 {
+			s = 0
+		}
+		i := s * (len(sparkMarks) - 1) / top
+		b.WriteRune(sparkMarks[i])
+	}
+	return b.String()
+}
+
+func fmtFields(fields map[string]string) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+fields[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n <= 0:
+		return "-"
+	case n < 1<<20:
+		return fmt.Sprintf("%dKB", n>>10)
+	case n < 1<<30:
+		return fmt.Sprintf("%dMB", n>>20)
+	default:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	}
+}
+
+func fmtMs(ms float64) string {
+	if ms <= 0 {
+		return "-"
+	}
+	if ms < 10 {
+		return fmt.Sprintf("%.2fms", ms)
+	}
+	return fmt.Sprintf("%.0fms", ms)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	default:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	}
+}
+
+// table right-pads columns to the widest cell — a tiny text/tabwriter
+// stand-in that keeps the binary dependency-free in spirit and the output
+// byte-stable for tests.
+type table struct {
+	w    io.Writer
+	rows [][]string
+}
+
+func newTable(w io.Writer) *table { return &table{w: w} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) flush() {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			// Sparklines are multi-byte but one column per rune.
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	for _, r := range t.rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(r)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+			}
+		}
+		fmt.Fprintln(t.w, strings.TrimRight(b.String(), " "))
+	}
+	t.rows = t.rows[:0]
+}

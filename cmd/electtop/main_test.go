@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cliquelect/elect/client"
+	"cliquelect/internal/obs"
+)
+
+// cannedFleetz is a three-node snapshot with one coordinator, one degraded
+// follower and one unreachable node — every rendering branch at once.
+func cannedFleetz() client.FleetzResponse {
+	healthy := &obs.SLOStatus{Verdict: obs.HealthHealthy, BurnRate: 0.2}
+	degraded := &obs.SLOStatus{Verdict: obs.HealthDegraded, BurnRate: 2.5}
+	return client.FleetzResponse{
+		Self:           "http://n1",
+		TSUS:           time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC).UnixMicro(),
+		Coordinator:    "http://n1",
+		Epoch:          4,
+		Coordinators:   1,
+		EpochAgreement: true,
+		Health:         obs.HealthCritical,
+		Nodes: []client.NodeStatus{
+			{
+				URL: "http://n1", Reachable: true, Role: "coordinator", Epoch: 4,
+				Coordinator: "http://n1", UptimeSeconds: 90, QueueDepth: 2, ActiveJobs: 1,
+				CacheHitRatio: 0.875, Goroutines: 25, RSSBytes: 42 << 20, SLO: healthy,
+				Routes: []client.RouteStats{
+					{Route: "/v1/run", Requests: 120, Errors: 0, P50Ms: 1.2, P99Ms: 40},
+				},
+			},
+			{
+				URL: "http://n2", Reachable: true, Role: "follower", Epoch: 4,
+				Coordinator: "http://n1", UptimeSeconds: 4000, CacheHitRatio: -1,
+				Goroutines: 19, RSSBytes: 800 << 10, SLO: degraded,
+				Routes: []client.RouteStats{
+					{Route: "/v1/run", Requests: 30, Errors: 2, P50Ms: 2.1, P99Ms: 95},
+				},
+			},
+			{URL: "http://n3", Reachable: false, Err: "connection refused"},
+		},
+		Events: []obs.Event{
+			{Seq: 1, TS: time.Date(2026, 8, 8, 11, 59, 0, 0, time.UTC).UnixMicro(),
+				Node: "n1", Kind: "campaign.won", Fields: map[string]string{"epoch": "4", "grants": "2"}},
+			{Seq: 2, TS: time.Date(2026, 8, 8, 11, 59, 1, 0, time.UTC).UnixMicro(),
+				Node: "n2", Kind: "lease.grant", Fields: map[string]string{"epoch": "4", "holder": "http://n1"}},
+		},
+	}
+}
+
+func fleetzServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fleetz" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(cannedFleetz())
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestOnceFrame(t *testing.T) {
+	ts := fleetzServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-once"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "\x1b[") {
+		t.Fatalf("-once frame contains ANSI escapes:\n%s", out)
+	}
+	for _, want := range []string{
+		"3 nodes", "coordinator http://n1 (epoch 4, 1 claiming)", "health CRITICAL", "epochs agree",
+		"http://n1", "coordinator", "healthy",
+		"http://n2", "follower", "degraded", "42MB",
+		"http://n3", "UNREACHABLE",
+		"/v1/run", "150",
+		"EVENTS", "campaign.won", "epoch=4 grants=2", "lease.grant",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLiveFrames(t *testing.T) {
+	ts := fleetzServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-frames", "2", "-interval", "1ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "\x1b[H\x1b[2J"); got != 2 {
+		t.Fatalf("saw %d clear sequences, want 2", got)
+	}
+	if !strings.Contains(out, "LOAD") {
+		t.Fatalf("live frame missing sparkline column:\n%s", out)
+	}
+	// Two polls of queue 2 + active 1 → a flat two-sample sparkline.
+	if !strings.Contains(out, "██") {
+		t.Fatalf("live frame missing sparkline bars:\n%s", out)
+	}
+}
+
+func TestLiveUnreachable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-frames", "1", "-interval", "1ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unreachable") {
+		t.Fatalf("no unreachable notice:\n%s", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := sparkline([]int{0, 4, 8})
+	if want := "▁▄█"; got != want {
+		t.Fatalf("sparkline = %q, want %q", got, want)
+	}
+	if got := sparkline([]int{0, 0}); got != "▁▁" {
+		t.Fatalf("all-zero sparkline = %q, want flat floor", got)
+	}
+}
+
+func TestMergeRoutes(t *testing.T) {
+	fz := cannedFleetz()
+	routes := mergeRoutes(fz.Nodes)
+	if len(routes) != 1 {
+		t.Fatalf("routes = %+v, want a single merged /v1/run", routes)
+	}
+	rt := routes[0]
+	if rt.Requests != 150 || rt.Errors != 2 {
+		t.Fatalf("merged counts = %+v", rt)
+	}
+	// Quantiles keep the slowest node, not a sum or mean.
+	if rt.P99Ms != 95 || rt.P50Ms != 2.1 {
+		t.Fatalf("merged quantiles = %+v, want worst-node values", rt)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{fmtBytes(0), "-"},
+		{fmtBytes(512 << 10), "512KB"},
+		{fmtBytes(42 << 20), "42MB"},
+		{fmtBytes(3 << 30), "3.0GB"},
+		{fmtMs(0), "-"},
+		{fmtMs(1.234), "1.23ms"},
+		{fmtMs(95), "95ms"},
+		{fmtDur(30 * time.Second), "30s"},
+		{fmtDur(5 * time.Minute), "5m"},
+		{fmtDur(90 * time.Minute), "1.5h"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("formatted %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -295,6 +296,51 @@ func (c *Client) Trace(ctx context.Context, id string) (*TraceResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Events fetches the daemon's journal: events with sequence > since,
+// oldest first, at most limit of the newest (0 means the server default).
+func (c *Client) Events(ctx context.Context, since uint64, limit int) (*EventsResponse, error) {
+	path := "/v1/events"
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out EventsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Fleetz fetches the daemon's merged fleet snapshot (every configured peer
+// probed and rolled up) — what electtop renders.
+func (c *Client) Fleetz(ctx context.Context) (*FleetzResponse, error) {
+	var out FleetzResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/fleetz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetzSelf fetches only the daemon's own NodeStatus (?self=1) — the
+// probe daemons send each other while building a merged snapshot, kept
+// recursion-free by construction.
+func (c *Client) FleetzSelf(ctx context.Context) (*NodeStatus, error) {
+	var out FleetzResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/fleetz?self=1", nil, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Nodes) != 1 {
+		return nil, fmt.Errorf("client: fleetz?self=1 returned %d nodes, want 1", len(out.Nodes))
+	}
+	return &out.Nodes[0], nil
 }
 
 // Health fetches the daemon's health and counters.

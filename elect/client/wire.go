@@ -463,3 +463,89 @@ type CoordinatorResponse struct {
 	Epoch       uint64 `json:"epoch"`
 	Coordinator string `json:"coordinator,omitempty"`
 }
+
+// EventsResponse is the body of GET /v1/events: the daemon's recent journal
+// entries, oldest first. ?since=SEQ returns only events newer than that
+// sequence number (for tailing) and ?limit=N keeps only the newest N.
+type EventsResponse struct {
+	// Node is the daemon's instance name, stamped on its events.
+	Node   string      `json:"node,omitempty"`
+	Events []obs.Event `json:"events"`
+}
+
+// RouteStats is one route's request/latency digest inside a NodeStatus —
+// what electtop's route table renders.
+type RouteStats struct {
+	Route    string `json:"route"`
+	Requests int64  `json:"requests"`
+	// Errors counts 5xx answers on this route.
+	Errors int64 `json:"errors"`
+	// P50Ms and P99Ms are latency quantiles in milliseconds, interpolated
+	// from the daemon's request histogram.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// NodeStatus is one daemon's slice of GET /v1/fleetz: control-plane
+// position, load, cache efficiency, SLO verdict, per-route latency and its
+// most recent journal events. Unreachable peers appear with Reachable
+// false and only URL/Err set — a fleet snapshot never omits a configured
+// node.
+type NodeStatus struct {
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
+	Err       string `json:"err,omitempty"`
+
+	Role        string `json:"role,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	Coordinator string `json:"coordinator,omitempty"`
+
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	QueueDepth    int     `json:"queue_depth"`
+	ActiveJobs    int     `json:"active_jobs"`
+	// CacheHitRatio is hits/(hits+misses) over the daemon's lifetime, -1
+	// when the daemon runs without a cache.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	Goroutines int   `json:"goroutines,omitempty"`
+	HeapBytes  int64 `json:"heap_bytes,omitempty"`
+	// RSSBytes is the process resident set size (0 where unavailable).
+	RSSBytes int64 `json:"rss_bytes,omitempty"`
+
+	// SLO is the node's burn-rate verdict (nil on daemons predating it).
+	SLO *obs.SLOStatus `json:"slo,omitempty"`
+	// Routes is the per-route digest, busiest first.
+	Routes []RouteStats `json:"routes,omitempty"`
+	// Events is the node's recent journal tail, oldest first.
+	Events []obs.Event `json:"events,omitempty"`
+}
+
+// FleetzResponse is the body of GET /v1/fleetz: the answering daemon's
+// merged view of the whole fleet — every configured peer probed
+// concurrently, plus fleet-level consensus and health roll-ups. On a
+// standalone daemon it carries exactly one node.
+type FleetzResponse struct {
+	// Self is the answering daemon's URL (its instance name when it has no
+	// peer set); TSUS the snapshot time in unix microseconds.
+	Self string `json:"self"`
+	TSUS int64  `json:"ts_us"`
+
+	// Coordinator and Epoch are the answering daemon's view of the lease;
+	// Coordinators counts nodes claiming the coordinator role (1 is
+	// healthy; 0 means an election is due; >1 should be impossible);
+	// EpochAgreement reports whether every reachable node sees the same
+	// epoch.
+	Coordinator    string `json:"coordinator,omitempty"`
+	Epoch          uint64 `json:"epoch,omitempty"`
+	Coordinators   int    `json:"coordinators"`
+	EpochAgreement bool   `json:"epoch_agreement"`
+
+	// Health is the fleet verdict: the worst node verdict, with
+	// unreachable nodes counting as worst of all.
+	Health string `json:"health"`
+
+	// Nodes lists every configured daemon, sorted by URL; Events is the
+	// fleet-wide journal merge, timestamp-ordered, newest window only.
+	Nodes  []NodeStatus `json:"nodes"`
+	Events []obs.Event  `json:"events,omitempty"`
+}

@@ -131,6 +131,10 @@ type Config struct {
 	// Spans, when non-nil, collects control.* spans (campaigns and the
 	// dogfooded elect runs). Settable later via SetSpans, before Run.
 	Spans *obs.SpanCollector
+	// Events, when non-nil, journals control-plane transitions (campaigns,
+	// grants, renewals, step-downs, fence rejections) into the daemon's
+	// event log. Settable later via SetEvents, before Run.
+	Events *obs.EventLog
 }
 
 // Stats is a point-in-time view of a node's control-plane state and
@@ -183,6 +187,7 @@ type Node struct {
 	expires    time.Time // lease expiry as last heard
 	leading    bool      // this node holds a quorum-confirmed lease
 	graceUntil time.Time // storeless amnesia guard: no votes or campaigns before this
+	graceHeld  bool      // grace.hold journaled once per process life
 
 	suspect      int       // consecutive failed probes of the holder
 	lastProbe    time.Time // follower: last holder probe
@@ -291,6 +296,14 @@ func (n *Node) SetSpans(col *obs.SpanCollector) {
 	n.cfg.Spans = col
 }
 
+// SetEvents directs control-plane events into log. Call before Run
+// (cmd/electd wires the service's journal in after constructing both).
+func (n *Node) SetEvents(log *obs.EventLog) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Events = log
+}
+
 // quorum is the majority of the configured peer set.
 func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
 
@@ -386,9 +399,13 @@ func (n *Node) HandleLease(req client.LeaseRequest, now time.Time) client.LeaseR
 		n.suspect = 0
 		n.granted[req.Epoch] = req.Holder
 		n.grants++
+		n.cfg.Events.Emit("lease.grant",
+			"epoch", strconv.FormatUint(req.Epoch, 10), "holder", req.Holder)
 		if deposed {
 			n.leading = false
 			n.stepdowns++
+			n.cfg.Events.Emit("lease.stepdown",
+				"epoch", strconv.FormatUint(req.Epoch, 10), "reason", "deposed", "by", req.Holder)
 			n.logf("control: deposed by %s (epoch %d)", req.Holder, req.Epoch)
 		} else if req.Holder != n.cfg.Self {
 			n.logf("control: granted epoch %d to %s", req.Epoch, req.Holder)
@@ -398,6 +415,8 @@ func (n *Node) HandleLease(req client.LeaseRequest, now time.Time) client.LeaseR
 		n.expires = now.Add(n.ttl)
 		n.suspect = 0
 		n.renewals++
+		n.cfg.Events.Emit("lease.renew",
+			"epoch", strconv.FormatUint(req.Epoch, 10), "holder", req.Holder)
 		return client.LeaseResponse{Granted: true, Epoch: n.epoch, Holder: n.holder}
 	default:
 		n.rejects++
@@ -445,6 +464,8 @@ func (n *Node) CheckFence(token uint64) error {
 	}
 	n.fenceRejects++
 	err := &StaleTokenError{Token: token, Epoch: n.epoch, Coordinator: n.holder}
+	n.cfg.Events.Emit("fence.reject",
+		"token", strconv.FormatUint(token, 10), "epoch", strconv.FormatUint(n.epoch, 10))
 	n.logf("control: rejected stale chunk dispatch: %v", err)
 	return err
 }
@@ -475,6 +496,8 @@ func (n *Node) Tick(now time.Time) {
 		// as coordinator before anyone else needs to fence us off.
 		n.leading = false
 		n.stepdowns++
+		n.cfg.Events.Emit("lease.stepdown",
+			"epoch", strconv.FormatUint(n.epoch, 10), "reason", "expired")
 		n.logf("control: lease for epoch %d expired without quorum, stepping down", n.epoch)
 	}
 	leading := n.leading
@@ -630,6 +653,11 @@ func (n *Node) campaign(now time.Time) {
 	if now.Before(n.graceUntil) {
 		// Amnesia guard (no Config.Store): a pre-restart incarnation of this
 		// process may have votes outstanding that this one cannot remember.
+		if !n.graceHeld {
+			n.graceHeld = true
+			n.cfg.Events.Emit("grace.hold",
+				"until", n.graceUntil.Format(time.RFC3339))
+		}
 		n.mu.Unlock()
 		return
 	}
@@ -674,6 +702,8 @@ func (n *Node) campaign(now time.Time) {
 	}
 	n.granted[next] = n.cfg.Self
 	n.grants++
+	n.cfg.Events.Emit("campaign.start",
+		"epoch", strconv.FormatUint(next, 10), "live", strconv.Itoa(len(live)))
 	n.mu.Unlock()
 
 	granted := 1 + n.fanLease(now, client.LeaseRequest{Epoch: next, Holder: n.cfg.Self})
@@ -695,8 +725,14 @@ func (n *Node) campaign(now time.Time) {
 		if err := n.saveLocked(n.epoch, n.holder, 0, ""); err != nil {
 			n.logf("control: persisting epoch %d win failed: %v", next, err)
 		}
+		n.cfg.Events.Emit("campaign.won",
+			"epoch", strconv.FormatUint(next, 10),
+			"grants", strconv.Itoa(granted), "peers", strconv.Itoa(len(n.peers)))
 		n.logf("control: won epoch %d with %d/%d grants (%d live peers)",
 			next, granted, len(n.peers), len(live))
+	} else {
+		n.cfg.Events.Emit("campaign.lost",
+			"epoch", strconv.FormatUint(next, 10), "grants", strconv.Itoa(granted))
 	}
 }
 
@@ -718,6 +754,8 @@ func (n *Node) adopt(now time.Time, resp *client.LeaseResponse) {
 	if n.leading {
 		n.leading = false
 		n.stepdowns++
+		n.cfg.Events.Emit("lease.stepdown",
+			"epoch", strconv.FormatUint(resp.Epoch, 10), "reason", "deposed", "by", resp.Holder)
 		n.logf("control: deposed, adopting epoch %d held by %s", resp.Epoch, resp.Holder)
 	}
 	n.epoch = resp.Epoch

@@ -79,6 +79,10 @@ type Config struct {
 	// with ErrFenced — both mean this dispatcher was deposed. Nil means
 	// unfenced dispatch (the plain sweep CLI).
 	Fence func() uint64
+	// Events, when non-nil, journals fleet scheduling events (worker
+	// liveness transitions, chunk failovers, straggler duplicates) into the
+	// daemon's event log. Settable later via SetEvents.
+	Events *obs.EventLog
 }
 
 // ErrFenced means the dispatcher was deposed mid-grid: either a worker
@@ -93,6 +97,7 @@ var ErrFenced = errors.New("distrib: dispatcher fenced off (coordinator deposed)
 type Fleet struct {
 	cfg     Config
 	workers []*worker
+	events  atomic.Pointer[obs.EventLog] // swappable journal; nil Load is a no-op Emit
 
 	retried     atomic.Int64 // chunks re-dispatched (failover + stragglers)
 	localCells  atomic.Int64 // cells executed locally because no worker was alive
@@ -160,6 +165,9 @@ func New(cfg Config) (*Fleet, error) {
 		copts = append(copts[:len(copts):len(copts)], client.WithSpanCollector(cfg.Spans))
 	}
 	f := &Fleet{cfg: cfg}
+	if cfg.Events != nil {
+		f.events.Store(cfg.Events)
+	}
 	for _, raw := range cfg.Workers {
 		url := NormalizeURL(raw)
 		if url == "" {
@@ -183,6 +191,15 @@ func NormalizeURL(s string) string {
 	return strings.TrimRight(s, "/")
 }
 
+// SetEvents directs fleet scheduling events into log (cmd/electd wires the
+// service's journal in after constructing both). Safe to call while grids
+// are in flight.
+func (f *Fleet) SetEvents(log *obs.EventLog) { f.events.Store(log) }
+
+// ev is the current journal — nil when journaling is off, which makes every
+// Emit a single-branch no-op.
+func (f *Fleet) ev() *obs.EventLog { return f.events.Load() }
+
 // Probe health-checks every worker in parallel, refreshing liveness and the
 // load gauges the scheduler balances on, and returns how many are alive. A
 // worker marked dead by an earlier failure gets a fresh chance here.
@@ -196,14 +213,23 @@ func (f *Fleet) Probe(ctx context.Context) int {
 			defer cancel()
 			h, err := w.c.Health(pctx)
 			w.mu.Lock()
-			defer w.mu.Unlock()
+			was := w.alive
 			w.alive = err == nil && h.OK
 			if w.alive {
 				w.queueDepth = h.QueueDepth
 				w.capacity = h.BatchWorkers
 				w.role = h.Role
 				w.epoch = h.Epoch
-			} else if f.cfg.Logf != nil {
+			}
+			now := w.alive
+			w.mu.Unlock()
+			switch {
+			case now && !was:
+				f.ev().Emit("worker.up", "url", w.url)
+			case !now && was:
+				f.ev().Emit("worker.down", "url", w.url, "reason", "probe")
+			}
+			if !now && f.cfg.Logf != nil {
 				f.cfg.Logf("distrib: worker %s unreachable: %v", w.url, err)
 			}
 		}(w)
@@ -414,7 +440,9 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 			// runGrid exits with this dispatch still in flight (straggler race
 			// won elsewhere, abort, cancel) the completion below is dropped,
 			// and a reusable Fleet must not leak the in-flight slot.
-			w.endChunk(comp.err == nil, ch.Count, comp.dur)
+			if w.endChunk(comp.err == nil, ch.Count, comp.dur) {
+				f.ev().Emit("worker.down", "url", w.url, "reason", "chunk")
+			}
 			select {
 			case compCh <- comp:
 			case <-ctx.Done():
@@ -504,6 +532,10 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 				}
 				if !st.done && st.inflight == 0 {
 					f.retried.Add(1)
+					f.ev().Emit("chunk.failover",
+						"worker", comp.w.url,
+						"start", strconv.Itoa(chunks[comp.ci].Start),
+						"count", strconv.Itoa(chunks[comp.ci].Count))
 					pending = append(pending, comp.ci)
 				}
 			case st.done:
@@ -519,6 +551,10 @@ func (f *Fleet) runGrid(spec elect.Spec, ns []int, seeds []uint64, b *elect.Batc
 				}
 				if dispatch(ci) {
 					f.retried.Add(1)
+					f.ev().Emit("chunk.straggler",
+						"start", strconv.Itoa(chunks[ci].Start),
+						"count", strconv.Itoa(chunks[ci].Count),
+						"inflight", time.Since(st.since).Round(time.Millisecond).String())
 					if f.cfg.Logf != nil {
 						f.cfg.Logf("distrib: chunk [%d, %d) straggling %v, re-dispatched",
 							chunks[ci].Start, chunks[ci].End(), time.Since(st.since).Round(time.Millisecond))
@@ -623,8 +659,10 @@ func (f *Fleet) pickWorker(exclude map[*worker]struct{}) *worker {
 }
 
 // endChunk settles a dispatch attempt: accounting on success, death on
-// failure (the next Probe revives a restarted daemon).
-func (w *worker) endChunk(ok bool, cells int, dur time.Duration) {
+// failure (the next Probe revives a restarted daemon). Reports whether this
+// failure is what killed the worker, so the caller can journal exactly one
+// worker.down per death.
+func (w *worker) endChunk(ok bool, cells int, dur time.Duration) (died bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.inflight--
@@ -640,8 +678,10 @@ func (w *worker) endChunk(ok bool, cells int, dur time.Duration) {
 		}
 	} else {
 		w.failures++
+		died = w.alive
 		w.alive = false
 	}
+	return died
 }
 
 // WorkerStats is one worker's accounting across the fleet's lifetime.

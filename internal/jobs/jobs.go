@@ -106,6 +106,11 @@ type Config struct {
 	// registry and span collector through these hooks, keeping jobs free of
 	// any obs dependency.
 	OnJobDone func(s Snapshot)
+	// OnJobEnqueue, when non-nil, observes every job accepted into the
+	// queue (jobs rejected by ErrQueueFull or ErrClosed never fire it).
+	// The same calling discipline as OnJobStart applies. The service layer
+	// journals its job.enqueue event here.
+	OnJobEnqueue func(s Snapshot)
 }
 
 // Manager owns the queue, the workers and the job table.
@@ -116,6 +121,7 @@ type Manager struct {
 	checkFence   func(uint64) error
 	onJobStart   func(Snapshot)
 	onJobDone    func(Snapshot)
+	onJobEnqueue func(Snapshot)
 	queue        chan *Job
 	wg           sync.WaitGroup
 
@@ -146,6 +152,7 @@ func NewManager(cfg Config) *Manager {
 		checkFence:   cfg.CheckFence,
 		onJobStart:   cfg.OnJobStart,
 		onJobDone:    cfg.OnJobDone,
+		onJobEnqueue: cfg.OnJobEnqueue,
 		queue:        make(chan *Job, depth),
 		jobs:         make(map[string]*Job),
 	}
@@ -249,6 +256,9 @@ func (m *Manager) submit(j *Job, sopts []SubmitOption) (*Job, error) {
 		m.order = append(m.order, j.ID)
 		m.pruneLocked()
 		m.mu.Unlock()
+		if m.onJobEnqueue != nil {
+			m.onJobEnqueue(j.Snapshot())
+		}
 		return j, nil
 	default:
 		m.mu.Unlock()

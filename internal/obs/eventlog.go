@@ -1,0 +1,200 @@
+package obs
+
+// EventLog: a lock-sharded, bounded in-memory journal of typed fleet
+// events — the third pillar of the observability layer next to the metrics
+// registry and the span collector. Where metrics answer "how much" and
+// traces answer "how long", the journal answers "what happened when": a
+// campaign won, a lease granted, a fence rejected, a worker died, a chunk
+// failed over, a cache entry evicted. One log sits in every electd daemon
+// (backing GET /v1/events and the /v1/events/stream SSE feed), and
+// GET /v1/fleetz merges every node's recent events into one fleet-wide
+// timeline.
+//
+// The discipline mirrors SpanCollector: memory is fixed at construction,
+// the newest events win, every method is safe for concurrent use, and every
+// method is nil-receiver-safe — a disabled journal is a nil *EventLog whose
+// Emit costs one nil check and zero heap allocations (pinned by
+// TestNilEventLogEmitAllocs).
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one journal entry: what happened (Kind), when (TS, unix
+// microseconds), where (Node), plus free-form detail fields. Seq is the
+// log-wide insertion sequence — strictly increasing, so ?since= paging and
+// fleet merges have a stable order even within one microsecond.
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	TS     int64             `json:"ts_us"`
+	Node   string            `json:"node,omitempty"`
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// eventShards is the journal's lock-shard count. Events shard by sequence
+// number, so concurrent emitters from different subsystems rarely contend.
+const eventShards = 16
+
+type eventShard struct {
+	mu   sync.Mutex
+	buf  []Event // ring: slot = writes % cap
+	next int
+}
+
+// DefaultEventCapacity bounds a log built with capacity 0: a few minutes of
+// control-plane and job churn without holding a long daemon's full history.
+const DefaultEventCapacity = 1024
+
+// EventLog stores events in a bounded ring per shard and fans new events
+// out to subscribers (the SSE stream). All methods are safe for concurrent
+// use and nil-receiver-safe.
+type EventLog struct {
+	node   string
+	seq    atomic.Uint64
+	shards [eventShards]eventShard
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// NewEventLog builds a journal holding at most capacity events (rounded up
+// to a multiple of the shard count; <= 0 means DefaultEventCapacity). node
+// is stamped on every event this log emits — the daemon's instance name,
+// so merged fleet timelines tell nodes apart.
+func NewEventLog(capacity int, node string) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	per := (capacity + eventShards - 1) / eventShards
+	l := &EventLog{node: node, subs: make(map[int]chan Event)}
+	for i := range l.shards {
+		l.shards[i].buf = make([]Event, 0, per)
+	}
+	return l
+}
+
+// Node is the name stamped on this log's events ("" on a nil log).
+func (l *EventLog) Node() string {
+	if l == nil {
+		return ""
+	}
+	return l.node
+}
+
+// Emit journals one event of the given kind with alternating key/value
+// detail pairs (a trailing odd key is dropped). A nil log ignores the call
+// for the price of one branch — and because the variadic slice never
+// escapes, the disabled path allocates nothing.
+func (l *EventLog) Emit(kind string, kv ...string) {
+	if l == nil {
+		return
+	}
+	var fields map[string]string
+	if len(kv) >= 2 {
+		fields = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			fields[kv[i]] = kv[i+1]
+		}
+	}
+	e := Event{
+		TS:     time.Now().UnixMicro(),
+		Node:   l.node,
+		Kind:   kind,
+		Fields: fields,
+	}
+	e.Seq = l.seq.Add(1)
+	sh := &l.shards[e.Seq%eventShards]
+	sh.mu.Lock()
+	if len(sh.buf) < cap(sh.buf) {
+		sh.buf = append(sh.buf, e)
+	} else {
+		sh.buf[sh.next] = e
+	}
+	sh.next = (sh.next + 1) % cap(sh.buf)
+	sh.mu.Unlock()
+	l.notify(e)
+}
+
+// notify fans one event out to subscribers, dropping it on full channels —
+// a slow SSE consumer loses events, never blocks an emitter.
+func (l *EventLog) notify(e Event) {
+	l.subMu.Lock()
+	for _, ch := range l.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	l.subMu.Unlock()
+}
+
+// Len reports how many events are currently held.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buf)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Events returns held events with Seq > since, oldest first, keeping only
+// the newest limit when more qualify (limit <= 0 means no cap). since=0
+// returns everything held.
+func (l *EventLog) Events(since uint64, limit int) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.buf {
+			if e.Seq > since {
+				out = append(out, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// Subscribe registers for every subsequent event: the returned channel
+// (buffered; events are dropped, not blocked, when the consumer lags)
+// receives each Emit until stop is called. The SSE stream endpoint sits
+// directly on this. A nil log returns a nil channel (which never delivers)
+// and a no-op stop.
+func (l *EventLog) Subscribe() (<-chan Event, func()) {
+	if l == nil {
+		return nil, func() {}
+	}
+	ch := make(chan Event, 64)
+	l.subMu.Lock()
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = ch
+	l.subMu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			l.subMu.Lock()
+			delete(l.subs, id)
+			l.subMu.Unlock()
+			close(ch)
+		})
+	}
+}

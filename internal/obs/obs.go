@@ -160,6 +160,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// CountLE returns the number of observations in buckets whose upper bound
+// is <= bound — a point read of the histogram's CDF at a bucket boundary.
+// The SLO tracker uses it to count requests inside a latency objective
+// (pick an objective that IS a bucket bound, or the nearest lower bound
+// answers).
+func (h *Histogram) CountLE(bound float64) int64 {
+	var cum int64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
 // metricKind discriminates the exposition TYPE of a family.
 type metricKind uint8
 
@@ -308,6 +324,15 @@ func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
 // first use. The number of values must match the declared keys.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).c }
 
+// Each calls fn for every series of the family in sorted label-signature
+// order (the exposition order), outside the family lock. The fleetz
+// federation walks the request counters with it.
+func (v *CounterVec) Each(fn func(labels []string, c *Counter)) {
+	for _, s := range v.f.snapshot() {
+		fn(s.labels, s.c)
+	}
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
 
@@ -330,6 +355,31 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, keys ...st
 
 // With returns the histogram for one label-value combination.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).h }
+
+// Each calls fn for every series of the family in sorted label-signature
+// order, outside the family lock.
+func (v *HistogramVec) Each(fn func(labels []string, h *Histogram)) {
+	for _, s := range v.f.snapshot() {
+		fn(s.labels, s.h)
+	}
+}
+
+// snapshot copies the family's series in sorted signature order, for
+// iteration outside the lock.
+func (f *family) snapshot() []*series {
+	f.mu.Lock()
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*series, len(sigs))
+	for i, sig := range sigs {
+		out[i] = f.series[sig]
+	}
+	f.mu.Unlock()
+	return out
+}
 
 // WritePrometheus renders every family in the text exposition format
 // (version 0.0.4). Output is deterministic: families sorted by name, series

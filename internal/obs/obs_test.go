@@ -91,6 +91,96 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Zero observations: every quantile is 0, including the extremes.
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty q%v = %v, want 0", q, got)
+		}
+	}
+
+	// Single-bucket histogram: everything interpolates inside [0, bound].
+	one := NewHistogram([]float64{10})
+	for i := 0; i < 4; i++ {
+		one.Observe(5)
+	}
+	if got := one.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("single-bucket p50 = %v, want 5", got)
+	}
+	if got := one.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("single-bucket p100 = %v, want 10", got)
+	}
+
+	// Out-of-range q clamps rather than panicking or extrapolating.
+	if got := one.Quantile(-3); got != one.Quantile(0) {
+		t.Errorf("q=-3 = %v, want the q=0 answer %v", got, one.Quantile(0))
+	}
+	if got := one.Quantile(7); got != one.Quantile(1) {
+		t.Errorf("q=7 = %v, want the q=1 answer %v", got, one.Quantile(1))
+	}
+
+	// Every observation in the overflow bucket: all quantiles clamp to the
+	// last finite bound — the histogram cannot invent an upper edge.
+	over := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		over.Observe(1e6)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := over.Quantile(q); got != 4 {
+			t.Errorf("all-overflow q%v = %v, want 4", q, got)
+		}
+	}
+}
+
+func TestHistogramCountLE(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.3, 0.4, 0.9, 5} {
+		h.Observe(v)
+	}
+	if got := h.CountLE(0.5); got != 3 {
+		t.Fatalf("CountLE(0.5) = %d, want 3", got)
+	}
+	if got := h.CountLE(1); got != 4 {
+		t.Fatalf("CountLE(1) = %d, want 4", got)
+	}
+	// A bound below every bucket counts nothing; the overflow observation is
+	// only reachable through Count().
+	if got := h.CountLE(0.01); got != 0 {
+		t.Fatalf("CountLE(0.01) = %d, want 0", got)
+	}
+	if h.Count()-h.CountLE(1) != 1 {
+		t.Fatalf("overflow count = %d, want 1", h.Count()-h.CountLE(1))
+	}
+}
+
+func TestVecEach(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("req_total", "", "route", "code")
+	cv.With("a", "200").Add(3)
+	cv.With("b", "500").Add(2)
+	var total int64
+	var errs int64
+	cv.Each(func(labels []string, c *Counter) {
+		total += c.Value()
+		if labels[1] == "500" {
+			errs += c.Value()
+		}
+	})
+	if total != 5 || errs != 2 {
+		t.Fatalf("CounterVec.Each saw total=%d errs=%d, want 5/2", total, errs)
+	}
+
+	hv := reg.HistogramVec("lat", "", []float64{1}, "route")
+	hv.With("a").Observe(0.5)
+	hv.With("b").Observe(2)
+	var n int64
+	hv.Each(func(labels []string, h *Histogram) { n += h.Count() })
+	if n != 2 {
+		t.Fatalf("HistogramVec.Each saw %d observations, want 2", n)
+	}
+}
+
 func TestHistogramQuantileSpread(t *testing.T) {
 	h := NewHistogram([]float64{10, 20, 30, 40})
 	// 40 observations, 10 per bucket: p25 at ~10, p75 at ~30.

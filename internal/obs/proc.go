@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ProcessRSSBytes reports the process's resident set size from Linux's
+// /proc/self/statm (field 2, in pages). On platforms without procfs — or
+// on any read or parse failure — it returns 0 rather than erroring: RSS is
+// a best-effort gauge (the process_rss_bytes metric and the electtop
+// memory column), never a correctness input.
+func ProcessRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || pages < 0 {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

@@ -1,0 +1,313 @@
+package service
+
+// The fleet control room's server side: the event-journal routes
+// (GET /v1/events, GET /v1/events/stream) and the federated fleet snapshot
+// (GET /v1/fleetz). A fleetz request fans ?self=1 probes out to every
+// configured peer concurrently and merges the answers — roles, epochs,
+// health verdicts, per-route latency and recent events — into one
+// timestamp-ordered view, which is exactly what cmd/electtop renders.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cliquelect/elect/client"
+	"cliquelect/internal/jobs"
+	"cliquelect/internal/obs"
+)
+
+// parsePage reads the shared ?since=/?limit= paging parameters (events use
+// a journal sequence, traces a unix-microsecond start). limit <= 0 falls
+// back to defLimit.
+func parsePage(r *http.Request, defLimit int) (since uint64, limit int, err error) {
+	limit = defLimit
+	q := r.URL.Query()
+	if v := q.Get("since"); v != "" {
+		since, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad since %q: %w", v, err)
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+		if n > 0 {
+			limit = n
+		}
+	}
+	return since, limit, nil
+}
+
+// handleEvents serves the journal: events with sequence > ?since=, oldest
+// first, the newest ?limit= (default 256) of them.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since, limit, err := parsePage(r, 256)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	events := s.events.Events(since, limit)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, client.EventsResponse{Node: s.events.Node(), Events: events})
+}
+
+// handleEventsStream tails the journal over SSE: a replay of everything
+// after ?since= (all held events by default), then one "event" message per
+// Emit until the client goes away. Slow consumers lose events rather than
+// block emitters — the journal is a control room feed, not a durable queue.
+func (s *Server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	since, _, err := parsePage(r, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe BEFORE the replay so no event can fall between them; the
+	// seq guard below drops the overlap instead of double-sending.
+	ch, stop := s.events.Subscribe()
+	defer stop()
+	last := since
+	for _, e := range s.events.Events(since, 0) {
+		writeSSEEvent(w, e)
+		last = e.Seq
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if e.Seq <= last {
+				continue
+			}
+			last = e.Seq
+			writeSSEEvent(w, e)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSEEvent(w http.ResponseWriter, e obs.Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: event\ndata: %s\n\n", data)
+}
+
+// fleetzEventTail is how many recent journal events each node contributes
+// to a fleet snapshot; the merged timeline is capped at fleetzEventMerge.
+const (
+	fleetzEventTail  = 20
+	fleetzEventMerge = 100
+	fleetzProbeTO    = 2 * time.Second
+)
+
+// handleFleetz serves the merged fleet snapshot. ?self=1 answers with only
+// this daemon's own NodeStatus — the recursion-free probe daemons send each
+// other; otherwise every configured peer is probed concurrently and the
+// answers rolled up.
+func (s *Server) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	self := s.selfStatus()
+	resp := client.FleetzResponse{
+		Self: self.URL,
+		TSUS: time.Now().UnixMicro(),
+	}
+	if r.URL.Query().Get("self") != "" {
+		resp.Nodes = []client.NodeStatus{self}
+		mergeFleetz(&resp)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	resp.Nodes = []client.NodeStatus{self}
+	if s.cfg.Control != nil {
+		peers := s.cfg.Control.Peers()
+		statuses := make([]client.NodeStatus, len(peers))
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			if p == s.cfg.Control.Self() {
+				statuses[i] = self
+				continue
+			}
+			wg.Add(1)
+			go func(i int, p string) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(r.Context(), fleetzProbeTO)
+				defer cancel()
+				st, err := client.New(p).FleetzSelf(ctx)
+				if err != nil {
+					statuses[i] = client.NodeStatus{URL: p, Err: err.Error()}
+					return
+				}
+				st.URL = p // the peer names itself by instance; the fleet by URL
+				statuses[i] = *st
+			}(i, p)
+		}
+		wg.Wait()
+		resp.Nodes = statuses
+	}
+	// Peers() is already sorted; keep the invariant explicit for the
+	// standalone single-node path too.
+	sort.Slice(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].URL < resp.Nodes[j].URL })
+	if s.cfg.Control != nil {
+		st := s.cfg.Control.Status()
+		resp.Coordinator = st.Coordinator
+		resp.Epoch = st.Epoch
+	}
+	mergeFleetz(&resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mergeFleetz computes the fleet-level roll-ups from the node list:
+// coordinator count, epoch agreement, the worst-of health verdict, and the
+// timestamp-ordered merged event timeline.
+func mergeFleetz(resp *client.FleetzResponse) {
+	resp.Health = obs.HealthHealthy
+	resp.EpochAgreement = true
+	var epoch uint64
+	sawEpoch := false
+	var merged []obs.Event
+	for _, n := range resp.Nodes {
+		if !n.Reachable {
+			// A configured daemon that cannot answer is the worst signal a
+			// fleet snapshot can carry.
+			resp.Health = obs.HealthCritical
+			continue
+		}
+		if n.Role == "coordinator" {
+			resp.Coordinators++
+		}
+		if n.Epoch > 0 {
+			if sawEpoch && n.Epoch != epoch {
+				resp.EpochAgreement = false
+			}
+			epoch = max(epoch, n.Epoch)
+			sawEpoch = true
+		}
+		if n.SLO != nil {
+			resp.Health = obs.WorseVerdict(resp.Health, n.SLO.Verdict)
+		}
+		merged = append(merged, n.Events...)
+	}
+	if sawEpoch && epoch > resp.Epoch {
+		resp.Epoch = epoch
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].TS != merged[j].TS {
+			return merged[i].TS < merged[j].TS
+		}
+		if merged[i].Node != merged[j].Node {
+			return merged[i].Node < merged[j].Node
+		}
+		return merged[i].Seq < merged[j].Seq
+	})
+	if len(merged) > fleetzEventMerge {
+		merged = merged[len(merged)-fleetzEventMerge:]
+	}
+	resp.Events = merged
+}
+
+// selfStatus assembles this daemon's own NodeStatus: control-plane
+// position, load gauges, cache efficiency, runtime health, the SLO verdict,
+// the per-route latency digest and the recent journal tail.
+func (s *Server) selfStatus() client.NodeStatus {
+	st := client.NodeStatus{
+		Reachable:     true,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    s.mgr.QueueDepth(),
+		CacheHitRatio: -1,
+		Goroutines:    runtime.NumGoroutine(),
+		RSSBytes:      obs.ProcessRSSBytes(),
+		Routes:        s.routeStats(),
+		Events:        s.events.Events(0, fleetzEventTail),
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st.HeapBytes = int64(ms.HeapAlloc)
+	st.ActiveJobs = s.mgr.Counts()[jobs.Running]
+	if s.cfg.Control != nil {
+		cs := s.cfg.Control.Status()
+		st.URL = s.cfg.Control.Self()
+		st.Role = string(cs.Role)
+		st.Epoch = cs.Epoch
+		st.Coordinator = cs.Coordinator
+	} else if s.cfg.Instance != "" {
+		st.URL = s.cfg.Instance
+	} else {
+		st.URL = "electd"
+	}
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		if lookups := cs.Hits + cs.DiskHits + cs.Misses; lookups > 0 {
+			st.CacheHitRatio = float64(cs.Hits+cs.DiskHits) / float64(lookups)
+		} else {
+			st.CacheHitRatio = 0
+		}
+	}
+	slo := s.met.slo.Status()
+	st.SLO = &slo
+	return st
+}
+
+// routeStats digests the request metrics per route — counts, 5xx counts and
+// interpolated latency quantiles — busiest route first.
+func (s *Server) routeStats() []client.RouteStats {
+	agg := map[string]*client.RouteStats{}
+	s.met.requests.Each(func(labels []string, c *obs.Counter) {
+		rs := agg[labels[0]]
+		if rs == nil {
+			rs = &client.RouteStats{Route: labels[0]}
+			agg[labels[0]] = rs
+		}
+		v := c.Value()
+		rs.Requests += v
+		if code, err := strconv.Atoi(labels[2]); err == nil && code >= 500 {
+			rs.Errors += v
+		}
+	})
+	s.met.latency.Each(func(labels []string, h *obs.Histogram) {
+		rs := agg[labels[0]]
+		if rs == nil {
+			rs = &client.RouteStats{Route: labels[0]}
+			agg[labels[0]] = rs
+		}
+		rs.P50Ms = h.Quantile(0.5) * 1000
+		rs.P99Ms = h.Quantile(0.99) * 1000
+	})
+	out := make([]client.RouteStats, 0, len(agg))
+	for _, rs := range agg {
+		out = append(out, *rs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Route < out[j].Route
+	})
+	return out
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"cliquelect/internal/jobs"
@@ -25,7 +26,14 @@ type metrics struct {
 	jobsDone *obs.CounterVec // kind, state
 	jobWait  *obs.HistogramVec
 	jobExec  *obs.HistogramVec
+	slo      *obs.SLOTracker
 }
+
+// sloSlowObjective is the latency objective feeding the SLO tracker:
+// requests slower than this count against the error budget alongside 5xx
+// answers. It is an exact obs.DefBuckets bound, so the CDF read
+// (Histogram.CountLE) is exact, not interpolated.
+const sloSlowObjective = 0.5
 
 // jobBuckets spans queue waits and executions from sub-millisecond single
 // runs to multi-minute sweeps.
@@ -83,6 +91,36 @@ func newMetrics(s *Server) *metrics {
 	r.GaugeFunc("process_uptime_seconds",
 		"Seconds since the daemon process started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("process_rss_bytes",
+		"Resident set size of the daemon process (0 where unavailable).",
+		func() float64 { return float64(obs.ProcessRSSBytes()) })
+	// SLO burn rate over the request metrics this registry already holds: a
+	// request is "bad" when it answered 5xx or ran past the latency
+	// objective. The tracker is passive — only scrapes and fleetz probes
+	// advance its window.
+	m.slo = obs.NewSLOTracker(func() obs.SLOSample {
+		var smp obs.SLOSample
+		m.requests.Each(func(labels []string, c *obs.Counter) {
+			v := c.Value()
+			smp.Requests += v
+			if code, err := strconv.Atoi(labels[2]); err == nil && code >= 500 {
+				smp.Errors += v
+			}
+		})
+		m.latency.Each(func(_ []string, h *obs.Histogram) {
+			smp.Slow += h.Count() - h.CountLE(sloSlowObjective)
+		})
+		return smp
+	}, obs.DefaultSLOBudget, obs.DefaultSLOWindow)
+	r.GaugeFunc("electd_slo_burn_rate",
+		"Error-budget burn rate over the rolling SLO window (1 = on budget).",
+		func() float64 { return m.slo.Status().BurnRate })
+	r.GaugeFunc("electd_slo_bad_ratio",
+		"Fraction of windowed requests that were 5xx or over the latency objective.",
+		func() float64 { return m.slo.Status().BadRatio })
+	r.GaugeFunc("electd_slo_status",
+		"SLO verdict: 0 healthy, 1 degraded, 2 critical.",
+		func() float64 { return float64(obs.VerdictRank(m.slo.Status().Verdict)) })
 	if s.cfg.Cache != nil {
 		cache := s.cfg.Cache
 		r.CounterFunc("electd_cache_hits_total",

@@ -15,8 +15,11 @@
 //	GET  /v1/specs     — the protocol registry
 //	GET  /healthz      — liveness + job/cache counters
 //	GET  /metrics      — Prometheus text exposition (internal/obs registry)
-//	GET  /v1/traces    — recent request traces, newest first
+//	GET  /v1/traces    — recent request traces, newest first (?since=/?limit=)
 //	GET  /v1/traces/{id} — every recorded span of one trace
+//	GET  /v1/events    — the daemon's event journal (?since=SEQ/?limit=N)
+//	GET  /v1/events/stream — live journal tail over SSE
+//	GET  /v1/fleetz    — merged fleet snapshot: every peer probed, rolled up
 //
 // Every request is traced: the middleware honors an incoming W3C
 // traceparent header (minting a fresh trace otherwise), stamps the trace id
@@ -85,17 +88,23 @@ type Config struct {
 	// node's Token as the fencing source; without it fleet batches are
 	// rejected.
 	Fleet *distrib.Fleet
+	// Events caps the daemon's event journal behind /v1/events; 0 means
+	// obs.DefaultEventCapacity, negative disables journaling entirely (the
+	// event routes then 404 and every Emit in the stack pays one nil
+	// check).
+	Events int
 }
 
 // Server is the electd HTTP service.
 type Server struct {
-	cfg   Config
-	mgr   *jobs.Manager
-	mux   *http.ServeMux
-	met   *metrics
-	spans *obs.SpanCollector
-	svc   string
-	start time.Time
+	cfg    Config
+	mgr    *jobs.Manager
+	mux    *http.ServeMux
+	met    *metrics
+	spans  *obs.SpanCollector
+	events *obs.EventLog
+	svc    string
+	start  time.Time
 }
 
 // New builds the service and starts its worker pool.
@@ -111,9 +120,17 @@ func New(cfg Config) *Server {
 	if cfg.TraceSpans >= 0 {
 		s.spans = obs.NewSpanCollector(cfg.TraceSpans)
 	}
+	if cfg.Events >= 0 {
+		node := cfg.Instance
+		if node == "" {
+			node = "electd"
+		}
+		s.events = obs.NewEventLog(cfg.Events, node)
+	}
 	s.met = newMetrics(s)
 	var cache elect.Cache
 	if cfg.Cache != nil {
+		cfg.Cache.SetEvents(s.events)
 		cache = cfg.Cache
 	}
 	var checkFence func(uint64) error
@@ -127,6 +144,7 @@ func New(cfg Config) *Server {
 		Cache:        cache,
 		OnJobStart:   s.onJobStart,
 		OnJobDone:    s.onJobDone,
+		OnJobEnqueue: s.onJobEnqueue,
 		CheckFence:   checkFence,
 	})
 	mux := http.NewServeMux()
@@ -139,6 +157,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/specs", s.handleSpecs)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	if s.events != nil {
+		mux.HandleFunc("GET /v1/events", s.handleEvents)
+		mux.HandleFunc("GET /v1/events/stream", s.handleEventsStream)
+	}
+	mux.HandleFunc("GET /v1/fleetz", s.handleFleetz)
 	if cfg.Control != nil {
 		mux.HandleFunc("POST /v1/lease", s.handleLease)
 		mux.HandleFunc("GET /v1/coordinator", s.handleCoordinator)
@@ -154,6 +177,11 @@ func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // Spans exposes the daemon's span collector (nil when tracing is disabled).
 func (s *Server) Spans() *obs.SpanCollector { return s.spans }
+
+// Events exposes the daemon's event journal (nil when journaling is
+// disabled) — cmd/electd wires it into the control node and the dispatch
+// fleet.
+func (s *Server) Events() *obs.EventLog { return s.events }
 
 // Handler returns the API handler: the route mux behind the observation
 // middleware that feeds the request metrics, the structured request log and
@@ -449,6 +477,7 @@ func submitOpts(r *http.Request, noCache bool) []jobs.SubmitOption {
 // Chunk jobs are skipped: handleChunk rebuilds their spans after completion
 // so the identical set can also ride back in the chunk response.
 func (s *Server) onJobStart(snap jobs.Snapshot) {
+	s.events.Emit("job.start", "job", snap.ID, "kind", string(snap.Kind))
 	if snap.Kind == jobs.KindChunk {
 		return
 	}
@@ -457,12 +486,22 @@ func (s *Server) onJobStart(snap jobs.Snapshot) {
 	}
 }
 
+// onJobEnqueue is the jobs.Config.OnJobEnqueue hook: one journal entry per
+// accepted job.
+func (s *Server) onJobEnqueue(snap jobs.Snapshot) {
+	s.events.Emit("job.enqueue", "job", snap.ID, "kind", string(snap.Kind))
+}
+
 // onJobDone is the jobs.Config.OnJobDone hook: metrics for every job, plus
 // the execution span for traced run/batch jobs. A job canceled while still
 // queued never fired OnJobStart, so its whole lifetime is reported as queue
 // wait instead.
 func (s *Server) onJobDone(snap jobs.Snapshot) {
 	s.met.onJobDone(snap)
+	// One journal entry per terminal state; canceled covers queue-canceled
+	// jobs too, so enqueue/done pairs always balance.
+	s.events.Emit("job.done",
+		"job", snap.ID, "kind", string(snap.Kind), "state", string(snap.State))
 	if snap.Kind == jobs.KindChunk {
 		return
 	}
@@ -622,13 +661,19 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleTraces lists recent traces, newest first, capped at 100. Each entry
-// summarizes the trace by its root span (the earliest span whose parent is
-// unknown to this daemon) and the overall time window.
+// handleTraces lists recent traces, newest first, capped at ?limit=
+// (default 100); ?since=US keeps only traces starting after that unix
+// microsecond, so pollers can page instead of re-reading the full window.
+// Each entry summarizes the trace by its root span (the earliest span
+// whose parent is unknown to this daemon) and the overall time window.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	const maxTraces = 100
+	since, limit, err := parsePage(r, 100)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	resp := client.TracesResponse{Traces: []client.TraceSummary{}}
-	for _, id := range s.spans.TraceIDs(maxTraces) {
+	for _, id := range s.spans.TraceIDs(limit) {
 		spans := s.spans.Trace(id)
 		if len(spans) == 0 {
 			continue // evicted between TraceIDs and Trace
@@ -650,6 +695,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			if orphan && (!rootOrphan || sp.Start < root.Start) {
 				root = sp
 			}
+		}
+		if since > 0 && first <= int64(since) {
+			continue
 		}
 		resp.Traces = append(resp.Traces, client.TraceSummary{
 			ID: id.String(), Root: root.Name, Service: root.Service,
